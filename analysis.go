@@ -1,0 +1,127 @@
+package eefei
+
+import (
+	"time"
+
+	"eefei/internal/core"
+	"eefei/internal/energy"
+	"eefei/internal/fl"
+	"eefei/internal/ml"
+	"eefei/internal/sim"
+)
+
+// This file exposes the analysis and extension surface of the library:
+// plan sensitivity, the energy/time Pareto frontier, per-term energy
+// breakdowns, lossy model-upload compression, heterogeneous fleets, and
+// power-trace persistence.
+
+// Analysis types, re-exported.
+type (
+	// SensitivityRow reports the plan's response to a perturbed constant.
+	SensitivityRow = core.SensitivityRow
+	// ParetoPoint is one energy/time trade-off.
+	ParetoPoint = core.ParetoPoint
+	// Breakdown splits a configuration's energy into compute vs
+	// communication.
+	Breakdown = core.Breakdown
+	// QuantBits selects the lossy upload codec width.
+	QuantBits = ml.QuantBits
+	// Heterogeneity describes per-server device spread.
+	Heterogeneity = sim.Heterogeneity
+	// DeviceFleet holds realized per-server device models.
+	DeviceFleet = sim.DeviceFleet
+	// StragglerReport quantifies synchronous-round idle waste.
+	StragglerReport = sim.StragglerReport
+)
+
+// Quantization widths, re-exported.
+const (
+	Quant8  = ml.Quant8
+	Quant16 = ml.Quant16
+)
+
+// Sensitivity re-solves the problem under ±delta relative perturbations of
+// every constant; see core.Sensitivity.
+func Sensitivity(p Problem, delta float64) ([]SensitivityRow, error) {
+	return core.Sensitivity(p, delta)
+}
+
+// PlanDuration predicts the wall-clock time of executing a plan.
+func PlanDuration(plan Plan, tm TimeModel, samplesPerServer int) time.Duration {
+	return core.PlanDuration(plan, tm, samplesPerServer)
+}
+
+// ParetoFrontier enumerates the non-dominated energy/time configurations.
+func ParetoFrontier(p Problem, tm TimeModel, samplesPerServer, eMax int) ([]ParetoPoint, error) {
+	return core.ParetoFrontier(p, tm, samplesPerServer, eMax)
+}
+
+// EnergyBreakdown splits Ê(K, E) into its compute and communication terms.
+func EnergyBreakdown(p Problem, k, e int) (Breakdown, error) {
+	return core.EnergyBreakdown(p, k, e)
+}
+
+// QuantizeModel losslessly-shaped lossy compression of model parameters for
+// upload (8 or 16 bits per parameter); DequantizeModel inverts it.
+func QuantizeModel(m *Model, bits QuantBits) ([]byte, error) {
+	return ml.QuantizeModel(m, bits)
+}
+
+// DequantizeModel decodes a QuantizeModel payload.
+func DequantizeModel(data []byte) (*Model, error) {
+	return ml.DequantizeModel(data)
+}
+
+// NewDeviceFleet realizes n per-server device models around a nominal model
+// with the given heterogeneity.
+func NewDeviceFleet(nominal DeviceModel, n int, h Heterogeneity) (*DeviceFleet, error) {
+	return sim.NewDeviceFleet(nominal, n, h)
+}
+
+// SaveTrace / LoadTrace persist 1 kHz power captures in the library's
+// binary container.
+var (
+	SaveTrace = energy.SaveTrace
+	LoadTrace = energy.LoadTrace
+)
+
+// Asynchronous federated learning, re-exported.
+type (
+	// AsyncConfig parameterizes staleness-weighted asynchronous FL.
+	AsyncConfig = fl.AsyncConfig
+	// AsyncUpdate records one asynchronous global update.
+	AsyncUpdate = fl.AsyncUpdate
+	// AsyncEngine runs FedAsync-style training over in-memory shards.
+	AsyncEngine = fl.AsyncEngine
+)
+
+// NewAsyncEngine builds an asynchronous engine over the shards; test may be
+// nil.
+func NewAsyncEngine(cfg AsyncConfig, shards []*Dataset, test *Dataset) (*AsyncEngine, error) {
+	return fl.NewAsyncEngine(cfg, shards, test)
+}
+
+// Async stop-condition constructors, re-exported.
+var (
+	// MaxAsyncSteps stops after n asynchronous updates.
+	MaxAsyncSteps = fl.MaxAsyncSteps
+	// AsyncTargetAccuracy stops at a test-accuracy threshold.
+	AsyncTargetAccuracy = fl.AsyncTargetAccuracy
+)
+
+// First-principles constant estimation, re-exported: derive σ², L and
+// ‖ω0−ω*‖² from a dataset plus a near-optimal reference model, then
+// aggregate them into bound constants via PhysicalConstants.Aggregate.
+type EstimateOptions = core.EstimateOptions
+
+// EstimatePhysical assembles PhysicalConstants from data; see
+// core.EstimatePhysical.
+func EstimatePhysical(reference *Model, shards []*Dataset, learningRate float64,
+	alpha0, alpha1, alpha2 float64, opts EstimateOptions) (PhysicalConstants, error) {
+	return core.EstimatePhysical(reference, shards, learningRate, alpha0, alpha1, alpha2, opts)
+}
+
+// EstimateGradientVariance computes the bound's σ² at a reference model.
+func EstimateGradientVariance(reference *Model, shards []*Dataset) (float64, error) {
+	return core.EstimateGradientVariance(reference, shards)
+}

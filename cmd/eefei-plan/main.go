@@ -1,0 +1,125 @@
+// Command eefei-plan computes the energy-optimal FEI training parameters
+// (K*, E*, T*) for a given system, using Algorithm 1 of the paper
+// (Alternate Convex Search over the biconvex energy objective).
+//
+// With no flags it solves the calibrated prototype-scale problem and prints
+// the paper's headline configuration:
+//
+//	eefei-plan
+//	eefei-plan -epsilon 0.05 -servers 50 -a1 0.4
+//	eefei-plan -samples 1000 -collect       # include IoT data-collection energy
+//	eefei-plan -grid                        # brute-force cross-check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eefei/internal/core"
+	"eefei/internal/energy"
+	"eefei/internal/iot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eefei-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eefei-plan", flag.ContinueOnError)
+	var (
+		epsilon     = fs.Float64("epsilon", 0.08, "target optimality gap ε")
+		servers     = fs.Int("servers", 20, "number of edge servers N")
+		a0          = fs.Float64("a0", core.DefaultBoundConstants().A0, "bound constant A0")
+		a1          = fs.Float64("a1", core.DefaultBoundConstants().A1, "bound constant A1")
+		a2          = fs.Float64("a2", core.DefaultBoundConstants().A2, "bound constant A2")
+		samples     = fs.Int("samples", 3000, "samples per edge server n̄")
+		collect     = fs.Bool("collect", false, "include per-round IoT data-collection energy (default: preloaded)")
+		grid        = fs.Bool("grid", false, "also solve by exhaustive grid search and compare")
+		residual    = fs.Float64("residual", 1e-9, "ACS stopping residual ξ")
+		sensitivity = fs.Bool("sensitivity", false, "report how ±10% constant perturbations move the plan")
+		pareto      = fs.Bool("pareto", false, "print the energy/time Pareto frontier")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params, err := core.NewEnergyParams(energy.DefaultPiDeviceModel(), iot.DefaultNBIoTConfig(),
+		*samples, !*collect)
+	if err != nil {
+		return fmt.Errorf("energy params: %w", err)
+	}
+	problem := core.Problem{
+		Bound:   core.BoundConstants{A0: *a0, A1: *a1, A2: *a2},
+		Energy:  params,
+		Epsilon: *epsilon,
+		Servers: *servers,
+	}
+	cfg := core.DefaultPlannerConfig()
+	cfg.Residual = *residual
+
+	plan, err := core.Solve(problem, cfg)
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+
+	fmt.Printf("problem: ε=%g N=%d A=(%g, %g, %g) B=(%.4g, %.4g)\n",
+		problem.Epsilon, problem.Servers, problem.Bound.A0, problem.Bound.A1,
+		problem.Bound.A2, problem.Energy.B0, problem.Energy.B1)
+	fmt.Printf("ACS (Algorithm 1): converged in %d iterations\n", plan.Iterations)
+	fmt.Printf("  K* = %d   (continuous %.3f)\n", plan.K, plan.ContinuousK)
+	fmt.Printf("  E* = %d   (continuous %.3f)\n", plan.E, plan.ContinuousE)
+	fmt.Printf("  T* = %d   (continuous %.3f)\n", plan.T, plan.ContinuousT)
+	fmt.Printf("  predicted energy  %.2f J\n", plan.PredictedJoules)
+	fmt.Printf("  baseline (K=1,E=1) %.2f J\n", plan.BaselineJoules)
+	fmt.Printf("  savings            %.1f%%  (paper reports 49.8%%)\n", 100*plan.Savings())
+
+	if *grid {
+		eMax := int(problem.EMax(1))
+		if eMax < 1 || eMax > 100000 {
+			eMax = 1000
+		}
+		gp, err := core.SolveGrid(problem, eMax)
+		if err != nil {
+			return fmt.Errorf("grid solve: %w", err)
+		}
+		fmt.Printf("grid cross-check: K=%d E=%d T=%d energy %.2f J\n",
+			gp.K, gp.E, gp.T, gp.PredictedJoules)
+	}
+
+	if *sensitivity {
+		rows, err := core.Sensitivity(problem, 0.10)
+		if err != nil {
+			return fmt.Errorf("sensitivity: %w", err)
+		}
+		fmt.Printf("\nsensitivity to ±10%% calibration error:\n")
+		fmt.Printf("%-8s %7s %4s %4s %12s %12s\n", "constant", "Δ", "K*", "E*", "energy (J)", "elasticity")
+		for _, r := range rows {
+			fmt.Printf("%-8s %+6.0f%% %4d %4d %12.2f %12.3f\n",
+				r.Constant, 100*r.Delta, r.K, r.E, r.Joules, r.Elasticity)
+		}
+	}
+
+	if *pareto {
+		tm := energy.DefaultPiTimeModel()
+		eMax := int(problem.EMax(1))
+		if eMax < 1 || eMax > 2000 {
+			eMax = 2000
+		}
+		frontier, err := core.ParetoFrontier(problem, tm, *samples, eMax)
+		if err != nil {
+			return fmt.Errorf("pareto: %w", err)
+		}
+		fmt.Printf("\nenergy/time Pareto frontier (%d points):\n", len(frontier))
+		fmt.Printf("%4s %5s %6s %12s %14s\n", "K", "E", "T", "energy (J)", "wall clock")
+		for _, pt := range frontier {
+			fmt.Printf("%4d %5d %6d %12.2f %14v\n",
+				pt.K, pt.E, pt.T, pt.Joules, pt.Elapsed.Round(time.Millisecond))
+		}
+	}
+	return nil
+}

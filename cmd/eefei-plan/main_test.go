@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithFlags(t *testing.T) {
+	args := []string{"-epsilon", "0.1", "-servers", "30", "-grid", "-sensitivity"}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCollect(t *testing.T) {
+	if err := run([]string{"-collect", "-samples", "100"}); err != nil {
+		t.Fatalf("run -collect: %v", err)
+	}
+}
+
+func TestRunInfeasible(t *testing.T) {
+	// ε so small that even K=N cannot satisfy the constraint.
+	if err := run([]string{"-epsilon", "1e-9"}); err == nil {
+		t.Error("infeasible problem must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	if err := run([]string{"-only", "table1,table2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFig3WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "fig3", "-csv", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "fig3_trace.csv")); err != nil || fi.Size() == 0 {
+		t.Errorf("fig3 csv missing (%v)", err)
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "cosmic"}); err == nil {
+		t.Error("bad scale must error")
+	}
+}
+
+func TestRunUnknownOnlyIsNoop(t *testing.T) {
+	// Unknown ids simply select nothing; the command succeeds quietly.
+	if err := run([]string{"-only", "fig99"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"eefei/internal/dataset"
+	"eefei/internal/flnet"
+)
+
+// runEdgeForTest stands in for a fededge process during the command-level
+// cluster test: the same data derivation cmd/fededge performs, with the
+// test's fixed parameters.
+func runEdgeForTest(addr string, id, of int) error {
+	train, err := dataset.Synthesize(dataset.SyntheticConfig{
+		Samples: 200, Classes: 10, Side: 8, Noise: 0.3, BlobsPerClass: 3, Seed: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("synthesize: %w", err)
+	}
+	shards, err := dataset.IIDPartitioner{Seed: 1}.Partition(train, of)
+	if err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	// The coordinator may not be listening yet; retry the dial briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err = flnet.RunEdgeServer(context.Background(), flnet.EdgeConfig{
+			Addr:        addr,
+			Shard:       shards[id],
+			Seed:        uint64(id + 1),
+			DialTimeout: time.Second,
+		})
+		if err == nil || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

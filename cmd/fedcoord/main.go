@@ -1,0 +1,119 @@
+// Command fedcoord is the networked FedAvg coordinator: it listens for
+// fededge processes, waits for the expected fleet, then drives synchronous
+// training rounds over TCP — the role the laptop plays in the paper's
+// prototype.
+//
+//	fedcoord -listen :7070 -servers 5 -k 3 -e 10 -rounds 20
+//
+// The coordinator holds the held-out test set (synthetic, same seed the
+// edges use to shard), prints per-round loss/accuracy, and shuts the fleet
+// down when training completes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eefei/internal/dataset"
+	"eefei/internal/fl"
+	"eefei/internal/flnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedcoord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedcoord", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:7070", "TCP listen address")
+		servers = fs.Int("servers", 5, "edge servers to wait for")
+		k       = fs.Int("k", 3, "servers selected per round (K)")
+		e       = fs.Int("e", 10, "local epochs per round (E)")
+		rounds  = fs.Int("rounds", 20, "global rounds (T)")
+		target  = fs.Float64("target", 0, "stop early at this test accuracy (0 = run all rounds)")
+		lr      = fs.Float64("lr", 0.5, "initial learning rate")
+		decay   = fs.Float64("decay", 0.99, "per-round learning-rate decay")
+		seed    = fs.Uint64("seed", 1, "selection seed; must match the edges' data seed")
+		side    = fs.Int("side", 8, "synthetic image side (features = side²)")
+		samples = fs.Int("samples", 2000, "total synthetic samples (must match edges)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The coordinator regenerates the same synthetic universe the edges use
+	// so its test set matches their shards' distribution.
+	dcfg := dataset.SyntheticConfig{
+		Samples: *samples, Classes: 10, Side: *side, Noise: 0.3, BlobsPerClass: 3, Seed: *seed,
+	}
+	testCfg := dcfg
+	testCfg.Samples = *samples / 6
+	_, test, err := dataset.SynthesizePair(dcfg, testCfg)
+	if err != nil {
+		return fmt.Errorf("synthesize test set: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	coord, err := flnet.NewCoordinator(flnet.CoordinatorConfig{
+		FL: fl.Config{
+			ClientsPerRound: *k,
+			LocalEpochs:     *e,
+			LearningRate:    *lr,
+			Decay:           *decay,
+			Seed:            *seed,
+		},
+		Classes:      10,
+		Features:     *side * *side,
+		RoundTimeout: 5 * time.Minute,
+		JoinTimeout:  5 * time.Minute,
+	}, ln, test)
+	if err != nil {
+		return err
+	}
+	defer coord.Shutdown()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	fmt.Printf("fedcoord: listening on %s, waiting for %d edge servers…\n", coord.Addr(), *servers)
+	if err := coord.WaitForClients(ctx, *servers); err != nil {
+		return fmt.Errorf("waiting for fleet: %w", err)
+	}
+	fmt.Printf("fedcoord: fleet complete, training K=%d E=%d for up to %d rounds\n", *k, *e, *rounds)
+
+	stop := fl.MaxRounds(*rounds)
+	if *target > 0 {
+		stop = fl.AnyOf(stop, fl.TargetAccuracy(*target))
+	}
+	start := time.Now()
+	for !stop(coord.History()) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rec, err := coord.Round(ctx)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", len(coord.History()), err)
+		}
+		fmt.Printf("round %3d  selected %v  lr %.4f  local-loss %.4f  test-acc %.4f\n",
+			rec.Round, rec.Selected, rec.LearningRate, rec.TrainLoss, rec.TestAccuracy)
+	}
+	coord.Shutdown()
+	history := coord.History()
+	last := history[len(history)-1]
+	fmt.Printf("fedcoord: done after %d rounds in %v; final accuracy %.4f\n",
+		len(history), time.Since(start).Round(time.Millisecond), last.TestAccuracy)
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command fededge is one networked edge server: it synthesizes (or loads)
+// its local data shard, dials the coordinator, and serves local-training
+// requests until shut down — the role each Raspberry Pi plays in the
+// paper's prototype.
+//
+//	fededge -coordinator 127.0.0.1:7070 -id 0 -of 5
+//	fededge -coordinator 10.0.0.2:7070 -id 3 -of 20 -mnist-images ... -mnist-labels ...
+//
+// All edges of one experiment must share -of, -samples, -side and -seed so
+// their shards partition the same synthetic universe the coordinator's test
+// set is drawn from.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"eefei/internal/dataset"
+	"eefei/internal/flnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fededge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fededge", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "127.0.0.1:7070", "coordinator TCP address")
+		id          = fs.Int("id", 0, "this server's shard index")
+		of          = fs.Int("of", 5, "total number of edge servers")
+		samples     = fs.Int("samples", 2000, "total synthetic samples (must match coordinator)")
+		side        = fs.Int("side", 8, "synthetic image side")
+		seed        = fs.Uint64("seed", 1, "data seed (must match coordinator)")
+		batch       = fs.Int("batch", 0, "local mini-batch size (0 = full batch)")
+		imagesPath  = fs.String("mnist-images", "", "optional real MNIST images IDX file")
+		labelsPath  = fs.String("mnist-labels", "", "optional real MNIST labels IDX file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id < 0 || *id >= *of {
+		return fmt.Errorf("id %d outside fleet of %d", *id, *of)
+	}
+
+	var train *dataset.Dataset
+	var err error
+	if *imagesPath != "" && *labelsPath != "" {
+		train, err = dataset.LoadMNIST(*imagesPath, *labelsPath)
+		if err != nil {
+			return fmt.Errorf("load MNIST: %w", err)
+		}
+	} else {
+		train, err = dataset.Synthesize(dataset.SyntheticConfig{
+			Samples: *samples, Classes: 10, Side: *side, Noise: 0.3, BlobsPerClass: 3, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("synthesize: %w", err)
+		}
+	}
+	shards, err := dataset.IIDPartitioner{Seed: *seed}.Partition(train, *of)
+	if err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	shard := shards[*id]
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	fmt.Printf("fededge %d/%d: %d samples, dialing %s\n", *id, *of, shard.Len(), *coordinator)
+	srv, err := flnet.Dial(flnet.EdgeConfig{
+		Addr:      *coordinator,
+		Shard:     shard,
+		BatchSize: *batch,
+		Seed:      *seed + uint64(*id)*65537,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("fededge %d/%d: registered as client %d, serving\n", *id, *of, srv.ID())
+	if err := srv.Serve(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("fededge %d/%d: shut down cleanly after %d rounds\n", *id, *of, srv.RoundsServed())
+	return nil
+}

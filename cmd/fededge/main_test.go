@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-id", "7", "-of", "5"}); err == nil {
+		t.Error("id outside the fleet must error")
+	}
+	if err := run([]string{"-id", "-1", "-of", "5"}); err == nil {
+		t.Error("negative id must error")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+}
+
+func TestRunDeadCoordinator(t *testing.T) {
+	// Dialing a dead port must fail quickly rather than hang.
+	err := run([]string{"-id", "0", "-of", "2", "-samples", "50",
+		"-coordinator", "127.0.0.1:1"})
+	if err == nil {
+		t.Error("dialing a dead coordinator must error")
+	}
+}
+
+func TestRunMissingMNIST(t *testing.T) {
+	err := run([]string{"-id", "0", "-of", "2",
+		"-mnist-images", "/nope/img", "-mnist-labels", "/nope/lbl"})
+	if err == nil {
+		t.Error("missing MNIST files must error")
+	}
+}

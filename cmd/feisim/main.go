@@ -1,0 +1,99 @@
+// Command feisim runs one complete simulated FEI training with full energy
+// accounting — the software twin of switching on the paper's 20-Pi testbed:
+//
+//	feisim                            # defaults: quick scale, K=10, E=40
+//	feisim -k 1 -e 43 -target 0.88    # run the planner's optimal config
+//	feisim -scale paper -k 10 -e 40   # prototype-scale dimensions (slow)
+//	feisim -collect                   # pay IoT data-collection every round
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eefei/internal/energy"
+	"eefei/internal/experiments"
+	"eefei/internal/fl"
+	"eefei/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "feisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("feisim", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "quick", "experiment scale: quick|paper")
+		k         = fs.Int("k", 10, "edge servers per round (K)")
+		e         = fs.Int("e", 40, "local epochs per round (E)")
+		target    = fs.Float64("target", 0, "test-accuracy stop target (0 = scale default)")
+		maxRounds = fs.Int("max-rounds", 0, "round cap (0 = scale default)")
+		collect   = fs.Bool("collect", false, "pay IoT data-collection energy each round")
+		seed      = fs.Uint64("seed", 1, "run seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := experiments.ParseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	setup, err := experiments.NewSetup(scale)
+	if err != nil {
+		return err
+	}
+	if *target <= 0 {
+		*target = setup.AccuracyTarget
+	}
+	if *maxRounds <= 0 {
+		*maxRounds = setup.RoundCap
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Servers = setup.Servers
+	cfg.Preloaded = !*collect
+	cfg.Seed = *seed
+	cfg.FL = fl.Config{
+		ClientsPerRound: *k,
+		LocalEpochs:     *e,
+		LearningRate:    setup.LearningRate,
+		Decay:           setup.Decay,
+		Seed:            *seed,
+	}
+
+	system, err := sim.New(cfg, setup.Shards, setup.Test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feisim: %v scale, N=%d servers, K=%d, E=%d, n̄=%d, target %.2f\n",
+		scale, setup.Servers, *k, *e, setup.SamplesPerServer(), *target)
+
+	res, err := system.Run(fl.AnyOf(fl.TargetAccuracy(*target), fl.MaxRounds(*maxRounds)))
+	if err != nil {
+		return err
+	}
+
+	hit := experiments.RoundsToAccuracy(res.History, *target)
+	fmt.Printf("\nrounds run        %d (target hit at %d)\n", len(res.History), hit)
+	fmt.Printf("final loss        %.4f\n", res.FinalLoss)
+	fmt.Printf("final accuracy    %.4f\n", res.FinalAccuracy)
+	fmt.Printf("virtual wallclock %v\n", res.WallClock)
+	fmt.Printf("\nenergy ledger:\n")
+	for _, p := range energy.Phases {
+		fmt.Printf("  %-9s %10.2f J\n", p, res.Ledger.Phase(p))
+	}
+	if res.CollectionJoules > 0 {
+		fmt.Printf("  %-9s %10.2f J\n", "collect", res.CollectionJoules)
+	}
+	fmt.Printf("  %-9s %10.2f J\n", "total", res.TotalJoules())
+	if n := len(res.History); n > 0 {
+		fmt.Printf("  per round %10.2f J\n", res.TotalJoules()/float64(n))
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunQuick(t *testing.T) {
+	// A tiny run: K=2, E=2, capped at 3 rounds.
+	args := []string{"-k", "2", "-e", "2", "-max-rounds", "3", "-target", "0.999"}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithCollection(t *testing.T) {
+	args := []string{"-k", "1", "-e", "1", "-max-rounds", "2", "-target", "0.999", "-collect"}
+	if err := run(args); err != nil {
+		t.Fatalf("run -collect: %v", err)
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("bad scale must error")
+	}
+}
+
+func TestRunBadK(t *testing.T) {
+	if err := run([]string{"-k", "9999", "-max-rounds", "1"}); err == nil {
+		t.Error("K beyond the fleet must error")
+	}
+}

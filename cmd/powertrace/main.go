@@ -1,0 +1,153 @@
+// Command powertrace generates and analyses edge-server power traces the
+// way the paper's POWER-Z KM001C meter does: it records a 1 kHz capture of
+// the four-phase round pattern, segments it back into phases, reports
+// per-phase mean power and energy, and fits the c0/c1 training-energy
+// coefficients from a measurement sweep.
+//
+//	powertrace                      # two rounds at E=40, n=2000 (Fig. 3)
+//	powertrace -rounds 5 -e 20 -n 1000
+//	powertrace -fit                 # Table-I style sweep + least-squares fit
+//	powertrace -csv trace.csv       # dump the raw samples
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"eefei/internal/energy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "powertrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("powertrace", flag.ContinueOnError)
+	var (
+		rounds   = fs.Int("rounds", 2, "coordination rounds to record")
+		e        = fs.Int("e", 40, "local epochs per round")
+		n        = fs.Int("n", 2000, "samples per edge server")
+		noise    = fs.Float64("noise", 0.05, "meter noise stddev (W)")
+		seed     = fs.Uint64("seed", 1, "noise seed")
+		fit      = fs.Bool("fit", false, "run the Table-I sweep and fit c0/c1")
+		csvPath  = fs.String("csv", "", "write raw samples to this CSV file")
+		savePath = fs.String("save", "", "write the capture to this binary .eft file")
+		loadPath = fs.String("load", "", "analyse an existing .eft capture instead of recording")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dm := energy.DefaultPiDeviceModel()
+	dm.Power.NoiseStdDev = *noise
+	meter, err := energy.NewMeter(dm.Power, 1000, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *fit {
+		return runFit(meter, dm)
+	}
+
+	var trace *energy.Trace
+	if *loadPath != "" {
+		trace, err = energy.LoadTrace(*loadPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d samples over %.3f s from %s\n",
+			len(trace.Samples), trace.Duration().Seconds(), *loadPath)
+	} else {
+		sched := energy.RoundSchedule(dm.Time, *e, *n, *rounds)
+		trace, err = meter.Record(sched)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d samples over %.3f s (%d rounds, E=%d, n=%d)\n",
+			len(trace.Samples), trace.Duration().Seconds(), *rounds, *e, *n)
+	}
+	fmt.Printf("total energy %.3f J, mean power %.3f W\n", trace.Energy(), trace.MeanPower())
+
+	seg, err := energy.NewSegmenter(dm.Power, 10)
+	if err != nil {
+		return err
+	}
+	reports, err := seg.Report(trace)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-10s %10s %10s %10s\n", "phase", "dur (s)", "joules", "mean W")
+	for _, r := range reports {
+		fmt.Printf("%-10s %10.3f %10.3f %10.3f\n",
+			r.Phase, r.Duration.Seconds(), r.Joules, r.MeanWatts)
+	}
+	segments, err := seg.Segment(trace)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detected %d coordination rounds\n", energy.CountRounds(segments))
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, trace); err != nil {
+			return err
+		}
+		fmt.Printf("raw samples written to %s\n", *csvPath)
+	}
+	if *savePath != "" {
+		if err := energy.SaveTrace(*savePath, trace); err != nil {
+			return err
+		}
+		fmt.Printf("binary capture written to %s\n", *savePath)
+	}
+	return nil
+}
+
+// runFit reproduces the Section-VI-B calibration: measure the Table-I grid
+// with the simulated meter, then least-squares the energy coefficients.
+func runFit(meter *energy.Meter, dm energy.DeviceModel) error {
+	var obs []energy.TrainObservation
+	fmt.Printf("%4s %6s %12s %12s\n", "E", "n", "dur (s)", "joules")
+	for _, e := range []int{10, 20, 40} {
+		for _, n := range []int{100, 500, 1000, 2000} {
+			o, err := energy.MeasureTraining(meter, dm.Time, e, n)
+			if err != nil {
+				return err
+			}
+			obs = append(obs, o)
+			fmt.Printf("%4d %6d %12.4f %12.4f\n", e, n, o.Duration.Seconds(), o.Joules)
+		}
+	}
+	c0, c1, err := energy.FitCoefficients(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfitted c0 = %.4g J/(sample·epoch)   (paper: 7.79e-05)\n", c0)
+	fmt.Printf("fitted c1 = %.4g J/epoch            (paper: 3.34e-03)\n", c1)
+	return nil
+}
+
+func writeCSV(path string, trace *energy.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintln(w, "seconds,watts"); err != nil {
+		return err
+	}
+	for _, s := range trace.Samples {
+		if _, err := fmt.Fprintf(w, "%.6f,%.4f\n", s.T.Seconds(), s.Watts); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDefaultCapture(t *testing.T) {
+	if err := run([]string{"-rounds", "1", "-e", "5", "-n", "100"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFit(t *testing.T) {
+	if err := run([]string{"-fit"}); err != nil {
+		t.Fatalf("run -fit: %v", err)
+	}
+}
+
+func TestRunSaveLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	eft := filepath.Join(dir, "t.eft")
+	csv := filepath.Join(dir, "t.csv")
+	if err := run([]string{"-rounds", "1", "-e", "5", "-n", "100", "-save", eft, "-csv", csv}); err != nil {
+		t.Fatalf("run -save: %v", err)
+	}
+	for _, p := range []string{eft, csv} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("output %s missing or empty (%v)", p, err)
+		}
+	}
+	if err := run([]string{"-load", eft}); err != nil {
+		t.Fatalf("run -load: %v", err)
+	}
+}
+
+func TestRunLoadMissing(t *testing.T) {
+	if err := run([]string{"-load", "/nonexistent.eft"}); err == nil {
+		t.Error("missing capture must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

@@ -1,0 +1,170 @@
+package eefei
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanDefaultReproducesHeadline(t *testing.T) {
+	plan, err := PlanDefault()
+	if err != nil {
+		t.Fatalf("PlanDefault: %v", err)
+	}
+	if plan.K != 1 {
+		t.Errorf("K = %d, want 1 (paper Fig. 5)", plan.K)
+	}
+	if plan.E < 20 || plan.E > 80 {
+		t.Errorf("E = %d, want Fig.-6 region [20,80]", plan.E)
+	}
+	if s := plan.Savings(); math.Abs(s-0.498) > 0.03 {
+		t.Errorf("savings = %.3f, want ≈0.498", s)
+	}
+}
+
+func TestPlanProblemCustom(t *testing.T) {
+	p := DefaultProblem()
+	p.Servers = 50
+	plan, err := PlanProblem(p)
+	if err != nil {
+		t.Fatalf("PlanProblem: %v", err)
+	}
+	if plan.K < 1 || plan.K > 50 {
+		t.Errorf("K = %d outside [1,50]", plan.K)
+	}
+}
+
+func TestPlanGridAgrees(t *testing.T) {
+	p := DefaultProblem()
+	acs, err := PlanProblem(p)
+	if err != nil {
+		t.Fatalf("PlanProblem: %v", err)
+	}
+	grid, err := PlanGrid(p, 200)
+	if err != nil {
+		t.Fatalf("PlanGrid: %v", err)
+	}
+	if acs.PredictedJoules > grid.PredictedJoules*(1+1e-9) {
+		t.Errorf("ACS %v J vs grid %v J", acs.PredictedJoules, grid.PredictedJoules)
+	}
+}
+
+func TestDeriveEnergyParams(t *testing.T) {
+	params, err := DeriveEnergyParams(DefaultDeviceModel(), DefaultUplink(), 3000, true)
+	if err != nil {
+		t.Fatalf("DeriveEnergyParams: %v", err)
+	}
+	def := DefaultProblem().Energy
+	if math.Abs(params.B0-def.B0) > 1e-12 || math.Abs(params.B1-def.B1) > 1e-12 {
+		t.Errorf("derived %+v, default %+v", params, def)
+	}
+}
+
+func TestFitBoundViaFacade(t *testing.T) {
+	truth := BoundConstants{A0: 100, A1: 0.1, A2: 1e-3}
+	var obs []GapObservation
+	for _, k := range []int{1, 5, 10} {
+		for _, e := range []int{1, 10, 50} {
+			obs = append(obs, GapObservation{K: k, E: e, T: 20,
+				Gap: truth.Gap(float64(k), float64(e), 20)})
+		}
+	}
+	got, err := FitBound(obs)
+	if err != nil {
+		t.Fatalf("FitBound: %v", err)
+	}
+	if math.Abs(got.A0-truth.A0)/truth.A0 > 1e-6 {
+		t.Errorf("A0 = %v, want %v", got.A0, truth.A0)
+	}
+}
+
+func TestSimulateEndToEndViaFacade(t *testing.T) {
+	dcfg := SyntheticConfig{Samples: 600, Classes: 10, Side: 8, Noise: 0.3, BlobsPerClass: 3, Seed: 1}
+	train, test, err := SynthesizePair(dcfg, dcfg)
+	if err != nil {
+		t.Fatalf("SynthesizePair: %v", err)
+	}
+	shards, err := PartitionIID(train, 6, 1)
+	if err != nil {
+		t.Fatalf("PartitionIID: %v", err)
+	}
+	cfg := DefaultSimConfig()
+	cfg.Servers = 6
+	cfg.FL = FLConfig{ClientsPerRound: 3, LocalEpochs: 4, LearningRate: 0.5, Decay: 0.99, Seed: 1}
+	res, err := Simulate(cfg, shards, test, AnyOf(TargetAccuracy(0.85), MaxRounds(40)))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.TotalJoules() <= 0 {
+		t.Error("simulation must consume energy")
+	}
+	if res.FinalAccuracy < 0.7 {
+		t.Errorf("final accuracy = %v", res.FinalAccuracy)
+	}
+	if res.Ledger.Phase(PhaseTrain) <= 0 {
+		t.Error("training phase energy missing from ledger")
+	}
+}
+
+func TestNewSimulationTrace(t *testing.T) {
+	dcfg := SyntheticConfig{Samples: 300, Classes: 10, Side: 8, Noise: 0.3, BlobsPerClass: 3, Seed: 1}
+	train, err := Synthesize(dcfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	shards, err := PartitionIID(train, 3, 1)
+	if err != nil {
+		t.Fatalf("PartitionIID: %v", err)
+	}
+	cfg := DefaultSimConfig()
+	cfg.Servers = 3
+	cfg.FL = FLConfig{ClientsPerRound: 3, LocalEpochs: 2, LearningRate: 0.1, Seed: 1}
+	system, err := NewSimulation(cfg, shards, nil)
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	res, err := system.Run(MaxRounds(2))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	trace, err := system.TraceServer(res.History, 0, 2, 1)
+	if err != nil {
+		t.Fatalf("TraceServer: %v", err)
+	}
+	if trace.Energy() <= 0 {
+		t.Error("trace must carry energy")
+	}
+}
+
+func TestPlanWithFacade(t *testing.T) {
+	cfg := PlannerConfig{Residual: 1e-6, MaxIterations: 50}
+	plan, err := PlanWith(DefaultProblem(), cfg)
+	if err != nil {
+		t.Fatalf("PlanWith: %v", err)
+	}
+	if plan.K != 1 {
+		t.Errorf("K = %d, want 1", plan.K)
+	}
+}
+
+func TestLoadMNISTFacade(t *testing.T) {
+	if _, err := LoadMNIST("/missing/images", "/missing/labels"); err == nil {
+		t.Error("missing files must error through the facade")
+	}
+}
+
+func TestPlanIntegerFacade(t *testing.T) {
+	plan, err := PlanInteger(DefaultProblem())
+	if err != nil {
+		t.Fatalf("PlanInteger: %v", err)
+	}
+	cont, err := PlanDefault()
+	if err != nil {
+		t.Fatalf("PlanDefault: %v", err)
+	}
+	if plan.K != cont.K {
+		t.Errorf("integer K = %d vs continuous %d", plan.K, cont.K)
+	}
+	if plan.PredictedJoules > cont.PredictedJoules*(1+1e-9) {
+		t.Errorf("integer plan worse: %v vs %v", plan.PredictedJoules, cont.PredictedJoules)
+	}
+}

@@ -1,0 +1,81 @@
+// Asynchronous federated learning: the staleness-weighted alternative to
+// the paper's synchronous rounds. Every edge server trains continuously;
+// each completed local training applies to the global model immediately
+// with weight α/(staleness+1), so no energy is wasted idling behind
+// stragglers.
+//
+//	go run ./examples/async_fl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eefei"
+)
+
+func main() {
+	dcfg := eefei.SyntheticConfig{
+		Samples: 2000, Classes: 10, Side: 8, Noise: 0.42, BlobsPerClass: 3, Seed: 1,
+	}
+	testCfg := dcfg
+	testCfg.Samples = 400
+	train, test, err := eefei.SynthesizePair(dcfg, testCfg)
+	if err != nil {
+		log.Fatalf("synthesize: %v", err)
+	}
+	shards, err := eefei.PartitionIID(train, 10, 1)
+	if err != nil {
+		log.Fatalf("partition: %v", err)
+	}
+
+	cfg := eefei.AsyncConfig{
+		LocalEpochs:  5,
+		LearningRate: 0.1,
+		Decay:        0.999,
+		MixWeight:    0.6,
+		MaxStaleness: 8,
+		Seed:         1,
+	}
+	engine, err := eefei.NewAsyncEngine(cfg, shards, test)
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+
+	fmt.Println("asynchronous FL: 10 servers, α=0.6, staleness cap 8")
+	updates, err := engine.Run(func(h []eefei.AsyncUpdate) bool {
+		return eefei.AsyncTargetAccuracy(0.89)(h) || eefei.MaxAsyncSteps(300)(h)
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	applied, dropped := 0, 0
+	maxStaleness := 0
+	for _, u := range updates {
+		if u.Applied {
+			applied++
+		} else {
+			dropped++
+		}
+		if u.Staleness > maxStaleness {
+			maxStaleness = u.Staleness
+		}
+	}
+	last := updates[len(updates)-1]
+	fmt.Printf("updates: %d applied, %d dropped (staleness cap), max staleness %d\n",
+		applied, dropped, maxStaleness)
+	fmt.Printf("final: loss %.4f, accuracy %.4f after %d updates\n",
+		last.TrainLoss, last.TestAccuracy, len(updates))
+
+	// Show a window of the update stream.
+	fmt.Println("\nlast updates:")
+	start := len(updates) - 5
+	if start < 0 {
+		start = 0
+	}
+	for _, u := range updates[start:] {
+		fmt.Printf("  v%-3d client %d staleness %d α=%.3f acc %.4f\n",
+			u.Step, u.Client, u.Staleness, u.MixWeight, u.TestAccuracy)
+	}
+}

@@ -1,0 +1,78 @@
+// Energy planner: the full calibration → optimization loop a deployment
+// would run. It "measures" training-step durations with the simulated power
+// meter (the Table-I procedure), fits the c0/c1 energy coefficients by
+// least squares, folds them into the Eq.-(12) constants, and solves for the
+// energy-optimal (K*, E*, T*).
+//
+//	go run ./examples/energy_planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eefei"
+	"eefei/internal/energy"
+)
+
+func main() {
+	// Step 1 — measure. Clamp the (simulated) POWER-Z onto an edge server
+	// and record training runs across the paper's Table-I grid.
+	dm := eefei.DefaultDeviceModel()
+	meter, err := energy.NewMeter(dm.Power, 1000, 7)
+	if err != nil {
+		log.Fatalf("meter: %v", err)
+	}
+	var obs []energy.TrainObservation
+	fmt.Println("measuring training-step durations (Table-I procedure):")
+	for _, e := range []int{10, 20, 40} {
+		for _, n := range []int{100, 500, 1000, 2000} {
+			o, err := energy.MeasureTraining(meter, dm.Time, e, n)
+			if err != nil {
+				log.Fatalf("measure E=%d n=%d: %v", e, n, err)
+			}
+			obs = append(obs, o)
+		}
+	}
+
+	// Step 2 — fit the paper's Eq.-(5) coefficients.
+	c0, c1, err := energy.FitCoefficients(obs)
+	if err != nil {
+		log.Fatalf("fit: %v", err)
+	}
+	fmt.Printf("  fitted c0 = %.4g J/(sample·epoch)  (paper: 7.79e-05)\n", c0)
+	fmt.Printf("  fitted c1 = %.4g J/epoch           (paper: 3.34e-03)\n", c1)
+
+	// Step 3 — assemble the energy constants for a 3000-sample deployment
+	// with pre-loaded data (B0 from the fit, B1 from the upload phase).
+	const samplesPerServer = 3000
+	params := eefei.EnergyParams{
+		B0: c0*samplesPerServer + c1,
+		B1: dm.UploadEnergy(),
+	}
+	fmt.Printf("  B0 = %.4f J/epoch, B1 = %.4f J/round\n", params.B0, params.B1)
+
+	// Step 4 — optimize.
+	problem := eefei.Problem{
+		Bound:   eefei.BoundConstants{A0: 300, A1: 0.01, A2: 4e-5},
+		Energy:  params,
+		Epsilon: 0.08,
+		Servers: 20,
+	}
+	plan, err := eefei.PlanProblem(problem)
+	if err != nil {
+		log.Fatalf("plan: %v", err)
+	}
+	fmt.Printf("\noptimal plan from measured coefficients: K*=%d, E*=%d, T*=%d\n",
+		plan.K, plan.E, plan.T)
+	fmt.Printf("predicted energy %.1f J — %.1f%% below the (K=1,E=1) baseline\n",
+		plan.PredictedJoules, 100*plan.Savings())
+
+	// Step 5 — sanity-check against brute force.
+	grid, err := eefei.PlanGrid(problem, 500)
+	if err != nil {
+		log.Fatalf("grid: %v", err)
+	}
+	fmt.Printf("grid-search cross-check: K=%d, E=%d (%.1f J)\n",
+		grid.K, grid.E, grid.PredictedJoules)
+}

@@ -1,0 +1,107 @@
+// Networked federated learning on one machine: spawns a coordinator and
+// five edge servers that speak the real TCP protocol over loopback — the
+// same binaries-in-one-process version of the cmd/fedcoord + cmd/fededge
+// deployment.
+//
+//	go run ./examples/networked_fl
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"eefei"
+	"eefei/internal/dataset"
+	"eefei/internal/fl"
+	"eefei/internal/flnet"
+)
+
+func main() {
+	const (
+		servers = 5
+		k       = 3
+		epochs  = 10
+		rounds  = 12
+	)
+
+	dcfg := eefei.SyntheticConfig{
+		Samples: 1500, Classes: 10, Side: 8, Noise: 0.35, BlobsPerClass: 3, Seed: 1,
+	}
+	testCfg := dcfg
+	testCfg.Samples = 300
+	train, test, err := eefei.SynthesizePair(dcfg, testCfg)
+	if err != nil {
+		log.Fatalf("synthesize: %v", err)
+	}
+	shards, err := dataset.IIDPartitioner{Seed: 1}.Partition(train, servers)
+	if err != nil {
+		log.Fatalf("partition: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	coord, err := flnet.NewCoordinator(flnet.CoordinatorConfig{
+		FL: fl.Config{
+			ClientsPerRound: k,
+			LocalEpochs:     epochs,
+			LearningRate:    0.2,
+			Decay:           0.99,
+			Seed:            1,
+		},
+		Classes:      train.Classes,
+		Features:     train.Dim(),
+		RoundTimeout: time.Minute,
+		JoinTimeout:  30 * time.Second,
+	}, ln, test)
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Shutdown()
+	fmt.Printf("coordinator listening on %s\n", coord.Addr())
+
+	// Spawn the edge-server fleet.
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := flnet.RunEdgeServer(context.Background(), flnet.EdgeConfig{
+				Addr:  coord.Addr().String(),
+				Shard: shards[i],
+				Seed:  uint64(i + 1),
+			})
+			if err != nil {
+				log.Printf("edge %d: %v", i, err)
+			}
+		}(i)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := coord.WaitForClients(ctx, servers); err != nil {
+		log.Fatalf("fleet never assembled: %v", err)
+	}
+	fmt.Printf("%d edge servers joined; training K=%d, E=%d for %d rounds\n",
+		servers, k, epochs, rounds)
+
+	for r := 0; r < rounds; r++ {
+		rec, err := coord.Round(ctx)
+		if err != nil {
+			log.Fatalf("round %d: %v", r, err)
+		}
+		fmt.Printf("round %2d  selected %v  local-loss %.4f  test-acc %.4f\n",
+			rec.Round, rec.Selected, rec.TrainLoss, rec.TestAccuracy)
+	}
+	coord.Shutdown()
+	wg.Wait()
+
+	history := coord.History()
+	fmt.Printf("done: final accuracy %.4f after %d networked rounds\n",
+		history[len(history)-1].TestAccuracy, len(history))
+}

@@ -1,0 +1,3 @@
+module eefei
+
+go 1.22

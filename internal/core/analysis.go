@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"eefei/internal/energy"
+)
+
+// This file contains the planner-side analyses that go beyond the paper's
+// evaluation but fall out of its model: parameter sensitivity (how fragile
+// is the plan to mis-calibrated constants?), predicted wall-clock time of a
+// plan (the paper optimizes energy only; deployments also care about
+// latency), the energy/time Pareto frontier, and the per-term energy
+// breakdown used in EXPERIMENTS.md.
+
+// SensitivityRow reports how the optimal plan responds to a relative
+// perturbation of one model constant.
+type SensitivityRow struct {
+	// Constant names the perturbed quantity (A0, A1, A2, B0, B1, Epsilon).
+	Constant string
+	// Delta is the applied relative perturbation (e.g. +0.1 for +10%).
+	Delta float64
+	// K, E are the re-optimized integer parameters.
+	K, E int
+	// Joules is the re-optimized predicted energy.
+	Joules float64
+	// Elasticity is d(ln Ê)/d(ln constant): the % energy change per %
+	// constant change.
+	Elasticity float64
+}
+
+// Sensitivity re-solves the problem with each constant perturbed by ±delta
+// and reports the resulting plans, baselined against the unperturbed plan.
+// It answers the calibration question the paper leaves open: which of the
+// fitted constants must be measured carefully, and which barely matter.
+func Sensitivity(p Problem, delta float64) ([]SensitivityRow, error) {
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("sensitivity delta %v outside (0,1): %w", delta, ErrParams)
+	}
+	base, err := Solve(p, DefaultPlannerConfig())
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity baseline: %w", err)
+	}
+	perturb := []struct {
+		name  string
+		apply func(*Problem, float64)
+	}{
+		{"A0", func(q *Problem, f float64) { q.Bound.A0 *= f }},
+		{"A1", func(q *Problem, f float64) { q.Bound.A1 *= f }},
+		{"A2", func(q *Problem, f float64) { q.Bound.A2 *= f }},
+		{"B0", func(q *Problem, f float64) { q.Energy.B0 *= f }},
+		{"B1", func(q *Problem, f float64) { q.Energy.B1 *= f }},
+		{"Epsilon", func(q *Problem, f float64) { q.Epsilon *= f }},
+	}
+	var rows []SensitivityRow
+	for _, pt := range perturb {
+		for _, sign := range []float64{+1, -1} {
+			q := p
+			d := sign * delta
+			pt.apply(&q, 1+d)
+			plan, err := Solve(q, DefaultPlannerConfig())
+			if err != nil {
+				// A perturbation can make the problem infeasible (e.g. ε
+				// down, A1 up); report it as a NaN-energy row rather than
+				// aborting the whole analysis.
+				rows = append(rows, SensitivityRow{
+					Constant: pt.name, Delta: d, K: -1, E: -1,
+					Joules: math.NaN(), Elasticity: math.NaN(),
+				})
+				continue
+			}
+			elasticity := (plan.PredictedJoules/base.PredictedJoules - 1) / d
+			rows = append(rows, SensitivityRow{
+				Constant:   pt.name,
+				Delta:      d,
+				K:          plan.K,
+				E:          plan.E,
+				Joules:     plan.PredictedJoules,
+				Elasticity: elasticity,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PlanDuration predicts the wall-clock time of executing a plan on devices
+// described by tm with n samples per server: T sequential rounds, each
+// lasting one full waiting→download→train→upload cycle (the K selected
+// servers run in parallel, so K does not lengthen a round).
+func PlanDuration(plan Plan, tm energy.TimeModel, samplesPerServer int) time.Duration {
+	return time.Duration(plan.T) * tm.RoundDuration(plan.E, samplesPerServer)
+}
+
+// ParetoPoint is one energy/time trade-off on the frontier.
+type ParetoPoint struct {
+	K, E    int
+	T       int
+	Joules  float64
+	Elapsed time.Duration
+}
+
+// ParetoFrontier enumerates the feasible integer (K, E) box and returns the
+// non-dominated energy/time points, sorted by increasing energy. eMax
+// bounds the E axis (clamped to the feasibility limit).
+func ParetoFrontier(p Problem, tm energy.TimeModel, samplesPerServer, eMax int) ([]ParetoPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	if eMax < 1 {
+		eMax = 1
+	}
+	var candidates []ParetoPoint
+	for k := 1; k <= p.Servers; k++ {
+		for e := 1; e <= eMax; e++ {
+			kf, ef := float64(k), float64(e)
+			if !p.Feasible(kf, ef) {
+				continue
+			}
+			tStar, err := p.TStar(kf, ef)
+			if err != nil {
+				continue
+			}
+			t := int(math.Ceil(tStar))
+			if t < 1 {
+				t = 1
+			}
+			candidates = append(candidates, ParetoPoint{
+				K: k, E: e, T: t,
+				Joules:  p.EnergyForRounds(kf, ef, float64(t)),
+				Elapsed: time.Duration(t) * tm.RoundDuration(e, samplesPerServer),
+			})
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("no feasible point: %w", ErrInfeasible)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Joules != candidates[j].Joules {
+			return candidates[i].Joules < candidates[j].Joules
+		}
+		return candidates[i].Elapsed < candidates[j].Elapsed
+	})
+	// Sweep: keep points whose elapsed time strictly improves on everything
+	// cheaper.
+	var frontier []ParetoPoint
+	best := time.Duration(math.MaxInt64)
+	for _, c := range candidates {
+		if c.Elapsed < best {
+			frontier = append(frontier, c)
+			best = c.Elapsed
+		}
+	}
+	return frontier, nil
+}
+
+// Breakdown decomposes the predicted energy of running (K, E) to the bound
+// target into its model terms.
+type Breakdown struct {
+	K, E int
+	// TStar is the continuous round count.
+	TStar float64
+	// ComputeJoules is the T·K·B0·E compute term.
+	ComputeJoules float64
+	// CommJoules is the T·K·B1 data-collection + upload term.
+	CommJoules float64
+	// Total is their sum (= Objective).
+	Total float64
+	// ComputeShare is ComputeJoules/Total.
+	ComputeShare float64
+}
+
+// EnergyBreakdown splits Ê(K, E) into compute and communication parts —
+// the trade-off the paper's Fig. 6 discussion is about.
+func EnergyBreakdown(p Problem, k, e int) (Breakdown, error) {
+	kf, ef := float64(k), float64(e)
+	tStar, err := p.TStar(kf, ef)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	compute := tStar * kf * p.Energy.B0 * ef
+	comm := tStar * kf * p.Energy.B1
+	return Breakdown{
+		K: k, E: e,
+		TStar:         tStar,
+		ComputeJoules: compute,
+		CommJoules:    comm,
+		Total:         compute + comm,
+		ComputeShare:  compute / (compute + comm),
+	}, nil
+}

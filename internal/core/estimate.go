@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"eefei/internal/dataset"
+	"eefei/internal/mat"
+	"eefei/internal/ml"
+)
+
+// This file estimates the *physical* quantities behind the convergence
+// bound directly from a dataset and a trained reference model, so the
+// planner can be driven from first principles instead of a fitted
+// aggregate:
+//
+//	σ²  — variance of per-client stochastic gradients at the optimum
+//	      (the bound's σ² ≜ (1/K)·Σ_k E‖∇f(ω*, z_k)‖², paper Prop. 1)
+//	L   — smoothness of the logistic loss, bounded by λmax(XᵀX/n)·c + λ_reg,
+//	      with c = 1/4 for the sigmoid head and c = 1/2 for softmax
+//	‖ω0−ω*‖² — distance from the zero initialization to the optimum.
+
+// EstimateOptions tunes the estimators.
+type EstimateOptions struct {
+	// PowerTol is the power-iteration tolerance (default 1e-8).
+	PowerTol float64
+	// PowerMaxIter bounds the power iteration (default 500).
+	PowerMaxIter int
+	// Seed drives the power-iteration start vector.
+	Seed uint64
+}
+
+func (o *EstimateOptions) defaults() {
+	if o.PowerTol <= 0 {
+		o.PowerTol = 1e-8
+	}
+	if o.PowerMaxIter <= 0 {
+		o.PowerMaxIter = 500
+	}
+}
+
+// EstimateGradientVariance computes σ² at the given model (intended to be a
+// near-optimal reference): the mean over shards of the squared norm of each
+// shard's full gradient. At the true optimum the global gradient vanishes
+// but per-shard gradients do not; their dispersion is exactly what the
+// bound's A1 term penalizes small K for.
+func EstimateGradientVariance(reference *ml.Model, shards []*dataset.Dataset) (float64, error) {
+	if len(shards) == 0 {
+		return 0, fmt.Errorf("no shards: %w", ErrParams)
+	}
+	var sum float64
+	for i, s := range shards {
+		g, err := ml.GradientNorm(reference, s)
+		if err != nil {
+			return 0, fmt.Errorf("shard %d gradient: %w", i, err)
+		}
+		sum += g * g
+	}
+	return sum / float64(len(shards)), nil
+}
+
+// EstimateSmoothness bounds the logistic loss's smoothness constant L via
+// the top eigenvalue of the empirical second-moment matrix XᵀX/n over the
+// union of the shards: L ≤ c·λmax, with c = 1/2 for the softmax head
+// (conservative multi-class bound) and c = 1/4 for per-class sigmoids.
+func EstimateSmoothness(shards []*dataset.Dataset, act ml.Activation, opts EstimateOptions) (float64, error) {
+	opts.defaults()
+	if len(shards) == 0 {
+		return 0, fmt.Errorf("no shards: %w", ErrParams)
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	dim := shards[0].Dim()
+	x := mat.NewDense(total, dim)
+	row := 0
+	for _, s := range shards {
+		for i := 0; i < s.Len(); i++ {
+			copy(x.Row(row), s.X.Row(i))
+			row++
+		}
+	}
+	lambda, err := mat.GramLargestEigenvalue(x, opts.PowerTol, opts.PowerMaxIter, opts.Seed)
+	if err != nil {
+		return 0, fmt.Errorf("smoothness eigenvalue: %w", err)
+	}
+	c := 0.5
+	if act == ml.Sigmoid {
+		c = 0.25
+	}
+	return c * lambda, nil
+}
+
+// EstimateInitialDistance returns ‖ω0 − ω*‖² for the zero initialization
+// the engines use: simply the squared parameter norm of the reference
+// optimum.
+func EstimateInitialDistance(reference *ml.Model) float64 {
+	zero := ml.NewModel(reference.Classes(), reference.Features(), reference.Act)
+	d := reference.ParamDistance(zero)
+	return d * d
+}
+
+// EstimatePhysical assembles a PhysicalConstants from data: the caller
+// supplies the near-optimal reference model (e.g. from long centralized
+// training), the shards, the learning rate γ, and the α-constants of the
+// bound (universal constants of [14]; 1 is the conventional choice when
+// unspecified).
+func EstimatePhysical(reference *ml.Model, shards []*dataset.Dataset, learningRate float64,
+	alpha0, alpha1, alpha2 float64, opts EstimateOptions) (PhysicalConstants, error) {
+	if learningRate <= 0 {
+		return PhysicalConstants{}, fmt.Errorf("learning rate %v: %w", learningRate, ErrParams)
+	}
+	sigmaSq, err := EstimateGradientVariance(reference, shards)
+	if err != nil {
+		return PhysicalConstants{}, err
+	}
+	smooth, err := EstimateSmoothness(shards, reference.Act, opts)
+	if err != nil {
+		return PhysicalConstants{}, err
+	}
+	return PhysicalConstants{
+		Alpha0:                alpha0,
+		Alpha1:                alpha1,
+		Alpha2:                alpha2,
+		InitialDistanceSq:     EstimateInitialDistance(reference),
+		LearningRate:          learningRate,
+		GradientVarianceAtOpt: sigmaSq,
+		Smoothness:            smooth,
+	}, nil
+}

@@ -1,0 +1,130 @@
+package energy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Trace persistence: a compact little-endian binary container so captures
+// can be archived and re-analysed (the workflow around a real POWER-Z
+// meter, whose vendor software exports similar dumps).
+//
+// Layout: magic "EFT\x01", float64 sample rate, uint32 count, then per
+// sample: int64 offset nanoseconds, float64 watts.
+
+var traceMagic = [4]byte{'E', 'F', 'T', 1}
+
+// maxTraceSamples caps deserialization against corrupt headers (about an
+// hour at 1 kHz ≈ 3.6 M samples; allow a generous 64 M).
+const maxTraceSamples = 64 << 20
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(traceMagic); err != nil {
+		return n, fmt.Errorf("write trace magic: %w", err)
+	}
+	if err := put(t.SampleRate); err != nil {
+		return n, fmt.Errorf("write sample rate: %w", err)
+	}
+	if err := put(uint32(len(t.Samples))); err != nil {
+		return n, fmt.Errorf("write count: %w", err)
+	}
+	for _, s := range t.Samples {
+		if err := put(int64(s.T)); err != nil {
+			return n, fmt.Errorf("write sample time: %w", err)
+		}
+		if err := put(s.Watts); err != nil {
+			return n, fmt.Errorf("write sample watts: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("flush trace: %w", err)
+	}
+	return n, nil
+}
+
+// ReadTrace deserializes a trace written by WriteTo and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("read trace magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace magic %x: %w", magic, ErrTrace)
+	}
+	var rate float64
+	if err := binary.Read(br, binary.LittleEndian, &rate); err != nil {
+		return nil, fmt.Errorf("read sample rate: %w", err)
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("sample rate %v: %w", rate, ErrTrace)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("read count: %w", err)
+	}
+	if count > maxTraceSamples {
+		return nil, fmt.Errorf("sample count %d exceeds cap: %w", count, ErrTrace)
+	}
+	trace := &Trace{SampleRate: rate, Samples: make([]Sample, count)}
+	for i := range trace.Samples {
+		var ns int64
+		if err := binary.Read(br, binary.LittleEndian, &ns); err != nil {
+			return nil, fmt.Errorf("read sample %d time: %w", i, err)
+		}
+		var watts float64
+		if err := binary.Read(br, binary.LittleEndian, &watts); err != nil {
+			return nil, fmt.Errorf("read sample %d watts: %w", i, err)
+		}
+		trace.Samples[i] = Sample{T: time.Duration(ns), Watts: watts}
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, fmt.Errorf("loaded trace: %w", err)
+	}
+	return trace, nil
+}
+
+// SaveTrace writes the trace to a file.
+func SaveTrace(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("save %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadTrace reads a trace from a file.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	t, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return t, nil
+}

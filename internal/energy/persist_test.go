@@ -1,0 +1,126 @@
+package energy
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func recordedTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	pm := DefaultPiPowerModel()
+	m, err := NewMeter(pm, 1000, 4)
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	trace, err := m.Record(RoundSchedule(DefaultPiTimeModel(), 10, 500, 1))
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	return trace
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	trace := recordedTestTrace(t)
+	var buf bytes.Buffer
+	n, err := trace.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if back.SampleRate != trace.SampleRate || len(back.Samples) != len(trace.Samples) {
+		t.Fatalf("shape lost: rate %v, %d samples", back.SampleRate, len(back.Samples))
+	}
+	for i := range trace.Samples {
+		if back.Samples[i] != trace.Samples[i] {
+			t.Fatalf("sample %d changed: %+v vs %+v", i, back.Samples[i], trace.Samples[i])
+		}
+	}
+	// Derived quantities survive exactly.
+	if math.Abs(back.Energy()-trace.Energy()) > 1e-12 {
+		t.Error("energy changed across round trip")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace at all"))); !errors.Is(err, ErrTrace) {
+		t.Errorf("garbage = %v, want ErrTrace", err)
+	}
+	// Valid magic but absurd count.
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0x8f, 0x40}) // rate 1000.0
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})       // count
+	if _, err := ReadTrace(&buf); !errors.Is(err, ErrTrace) {
+		t.Errorf("absurd count = %v, want ErrTrace", err)
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	trace := recordedTestTrace(t)
+	var buf bytes.Buffer
+	if _, err := trace.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	short := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewReader(short)); err == nil {
+		t.Error("truncated trace must error")
+	}
+}
+
+func TestReadTraceRejectsInvalidSamples(t *testing.T) {
+	// Out-of-order samples written manually must fail Validate on load.
+	bad := &Trace{SampleRate: 1000, Samples: []Sample{
+		{T: time.Millisecond, Watts: 1},
+		{T: 0, Watts: 2},
+	}}
+	var buf bytes.Buffer
+	if _, err := bad.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, err := ReadTrace(&buf); !errors.Is(err, ErrTrace) {
+		t.Errorf("out-of-order load = %v, want ErrTrace", err)
+	}
+}
+
+func TestSaveLoadTraceFile(t *testing.T) {
+	trace := recordedTestTrace(t)
+	path := filepath.Join(t.TempDir(), "capture.eft")
+	if err := SaveTrace(path, trace); err != nil {
+		t.Fatalf("SaveTrace: %v", err)
+	}
+	back, err := LoadTrace(path)
+	if err != nil {
+		t.Fatalf("LoadTrace: %v", err)
+	}
+	if len(back.Samples) != len(trace.Samples) {
+		t.Errorf("loaded %d samples, want %d", len(back.Samples), len(trace.Samples))
+	}
+	// Segmentation of the loaded trace still recovers the round structure.
+	seg, err := NewSegmenter(DefaultPiPowerModel(), 10)
+	if err != nil {
+		t.Fatalf("NewSegmenter: %v", err)
+	}
+	segments, err := seg.Segment(back)
+	if err != nil {
+		t.Fatalf("Segment: %v", err)
+	}
+	if CountRounds(segments) != 1 {
+		t.Errorf("loaded trace shows %d rounds, want 1", CountRounds(segments))
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, err := LoadTrace("/nonexistent/trace.eft"); err == nil {
+		t.Error("missing file must error")
+	}
+}

@@ -1,0 +1,248 @@
+// Package energy models the measurement side of the paper's hardware
+// prototype: per-phase power draw of a Raspberry-Pi-class edge server, the
+// linear training-duration model fitted in Table I, 1 kHz power traces like
+// the POWER-Z KM001C meter produces (Fig. 3), phase segmentation and energy
+// integration of those traces, and least-squares recovery of the paper's
+// c0/c1 energy coefficients from measurements.
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Phase identifies one of the four repeating steps the paper observes in
+// every round of global coordination (Fig. 3).
+type Phase int
+
+const (
+	// PhaseWaiting is the idle wait for the coordinator / data upload.
+	PhaseWaiting Phase = iota + 1
+	// PhaseDownload is the global-model download and parameter swap.
+	PhaseDownload
+	// PhaseTrain is the E local SGD epochs.
+	PhaseTrain
+	// PhaseUpload is the local-model upload to the coordinator.
+	PhaseUpload
+)
+
+// Phases lists all phases in their per-round order.
+var Phases = []Phase{PhaseWaiting, PhaseDownload, PhaseTrain, PhaseUpload}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseWaiting:
+		return "waiting"
+	case PhaseDownload:
+		return "download"
+	case PhaseTrain:
+		return "train"
+	case PhaseUpload:
+		return "upload"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// ErrPowerModel is returned (wrapped) for invalid power-model parameters.
+var ErrPowerModel = errors.New("energy: invalid power model")
+
+// PowerModel is the average power draw per phase, in watts.
+type PowerModel struct {
+	// Waiting, Download, Train, Upload are the phase powers in watts.
+	Waiting, Download, Train, Upload float64
+	// NoiseStdDev is the per-sample Gaussian jitter a real meter sees,
+	// in watts. Zero produces noise-free traces.
+	NoiseStdDev float64
+}
+
+// DefaultPiPowerModel returns the paper's measured Raspberry Pi 4B phase
+// powers: 3.6 W waiting, 4.286 W downloading, 5.553 W training, 5.015 W
+// uploading (Section VI-B).
+func DefaultPiPowerModel() PowerModel {
+	return PowerModel{
+		Waiting:     3.600,
+		Download:    4.286,
+		Train:       5.553,
+		Upload:      5.015,
+		NoiseStdDev: 0.05,
+	}
+}
+
+// Validate checks that the phase powers are positive and ordered sanely
+// (training draws the most, waiting the least — the pattern the paper
+// measures; models violating it are allowed but flagged by callers that
+// need the canonical ordering for segmentation).
+func (pm PowerModel) Validate() error {
+	for _, p := range []float64{pm.Waiting, pm.Download, pm.Train, pm.Upload} {
+		if p <= 0 {
+			return fmt.Errorf("non-positive phase power %v W: %w", p, ErrPowerModel)
+		}
+	}
+	if pm.NoiseStdDev < 0 {
+		return fmt.Errorf("negative noise stddev %v: %w", pm.NoiseStdDev, ErrPowerModel)
+	}
+	return nil
+}
+
+// Power returns the mean draw for a phase in watts.
+func (pm PowerModel) Power(p Phase) float64 {
+	switch p {
+	case PhaseWaiting:
+		return pm.Waiting
+	case PhaseDownload:
+		return pm.Download
+	case PhaseTrain:
+		return pm.Train
+	case PhaseUpload:
+		return pm.Upload
+	default:
+		return 0
+	}
+}
+
+// Energy returns the energy in joules spent holding phase p for d.
+func (pm PowerModel) Energy(p Phase, d time.Duration) float64 {
+	return pm.Power(p) * d.Seconds()
+}
+
+// TimeModel is the duration side of the device model. Training duration is
+// the paper's Table-I linear law: t_train(E, n) = E·(PerSample·n + PerEpoch).
+type TimeModel struct {
+	// TrainPerSample is the per-epoch, per-sample training time (a0).
+	TrainPerSample time.Duration
+	// TrainPerEpoch is the fixed per-epoch overhead (a1).
+	TrainPerEpoch time.Duration
+	// Download is the global-model download duration per round.
+	Download time.Duration
+	// Upload is the local-model upload duration per round.
+	Upload time.Duration
+	// Waiting is the idle duration per round before the download begins.
+	Waiting time.Duration
+}
+
+// DefaultPiTimeModel returns durations calibrated so the resulting energy
+// coefficients match the paper's fits: a0 = 14.03 µs/sample·epoch and
+// a1 = 601.5 µs/epoch give c0 = P_train·a0 ≈ 7.79e-5 J and
+// c1 = P_train·a1 ≈ 3.34e-3 J with the default power model. Download and
+// upload times reflect a ~63 kB logistic-regression model on shared WiFi;
+// the 52 ms upload yields e^U ≈ 0.26 J, the value that reproduces the
+// paper's 49.8% headline saving together with the bound calibration in
+// internal/core (see EXPERIMENTS.md).
+func DefaultPiTimeModel() TimeModel {
+	return TimeModel{
+		TrainPerSample: 14030 * time.Nanosecond,
+		TrainPerEpoch:  601500 * time.Nanosecond,
+		Download:       60 * time.Millisecond,
+		Upload:         52 * time.Millisecond,
+		Waiting:        200 * time.Millisecond,
+	}
+}
+
+// Validate checks the durations are non-negative and training is non-trivial.
+func (tm TimeModel) Validate() error {
+	if tm.TrainPerSample < 0 || tm.TrainPerEpoch < 0 || tm.Download < 0 ||
+		tm.Upload < 0 || tm.Waiting < 0 {
+		return fmt.Errorf("negative duration in time model %+v: %w", tm, ErrPowerModel)
+	}
+	if tm.TrainPerSample == 0 && tm.TrainPerEpoch == 0 {
+		return fmt.Errorf("zero training time: %w", ErrPowerModel)
+	}
+	return nil
+}
+
+// TrainDuration returns the Table-I training time for E epochs on n samples.
+func (tm TimeModel) TrainDuration(epochs, samples int) time.Duration {
+	if epochs <= 0 || samples < 0 {
+		return 0
+	}
+	perEpoch := time.Duration(samples)*tm.TrainPerSample + tm.TrainPerEpoch
+	return time.Duration(epochs) * perEpoch
+}
+
+// PhaseDuration returns the duration of a phase within one round for the
+// given training parameters.
+func (tm TimeModel) PhaseDuration(p Phase, epochs, samples int) time.Duration {
+	switch p {
+	case PhaseWaiting:
+		return tm.Waiting
+	case PhaseDownload:
+		return tm.Download
+	case PhaseTrain:
+		return tm.TrainDuration(epochs, samples)
+	case PhaseUpload:
+		return tm.Upload
+	default:
+		return 0
+	}
+}
+
+// RoundDuration returns the wall-clock duration of one full round
+// (waiting + download + training + upload).
+func (tm TimeModel) RoundDuration(epochs, samples int) time.Duration {
+	var total time.Duration
+	for _, p := range Phases {
+		total += tm.PhaseDuration(p, epochs, samples)
+	}
+	return total
+}
+
+// DeviceModel couples power and time into the per-device energy law the
+// optimization consumes.
+type DeviceModel struct {
+	Power PowerModel
+	Time  TimeModel
+}
+
+// DefaultPiDeviceModel is the calibrated Raspberry Pi 4B model.
+func DefaultPiDeviceModel() DeviceModel {
+	return DeviceModel{Power: DefaultPiPowerModel(), Time: DefaultPiTimeModel()}
+}
+
+// Validate checks both halves.
+func (dm DeviceModel) Validate() error {
+	if err := dm.Power.Validate(); err != nil {
+		return err
+	}
+	return dm.Time.Validate()
+}
+
+// TrainEnergy returns e_k^P(E, n_k) = c0·E·n + c1·E (paper Eq. 5) in joules.
+func (dm DeviceModel) TrainEnergy(epochs, samples int) float64 {
+	return dm.Power.Energy(PhaseTrain, dm.Time.TrainDuration(epochs, samples))
+}
+
+// UploadEnergy returns e_k^U, the per-round model-upload energy in joules.
+func (dm DeviceModel) UploadEnergy() float64 {
+	return dm.Power.Energy(PhaseUpload, dm.Time.Upload)
+}
+
+// DownloadEnergy returns the per-round model-download energy in joules.
+// The paper folds this into the stationary baseline; we expose it so the
+// simulator can account for every phase explicitly.
+func (dm DeviceModel) DownloadEnergy() float64 {
+	return dm.Power.Energy(PhaseDownload, dm.Time.Download)
+}
+
+// WaitingEnergy returns the idle energy per round in joules.
+func (dm DeviceModel) WaitingEnergy() float64 {
+	return dm.Power.Energy(PhaseWaiting, dm.Time.Waiting)
+}
+
+// RoundEnergy returns the total energy one selected edge server spends in a
+// round of E epochs over n samples, summing all four phases.
+func (dm DeviceModel) RoundEnergy(epochs, samples int) float64 {
+	return dm.WaitingEnergy() + dm.DownloadEnergy() +
+		dm.TrainEnergy(epochs, samples) + dm.UploadEnergy()
+}
+
+// Coefficients returns the paper's (c0, c1) energy coefficients implied by
+// the device model: c0 = P_train·a0 joules per sample·epoch and
+// c1 = P_train·a1 joules per epoch.
+func (dm DeviceModel) Coefficients() (c0, c1 float64) {
+	c0 = dm.Power.Train * dm.Time.TrainPerSample.Seconds()
+	c1 = dm.Power.Train * dm.Time.TrainPerEpoch.Seconds()
+	return c0, c1
+}

@@ -1,0 +1,180 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseWaiting:  "waiting",
+		PhaseDownload: "download",
+		PhaseTrain:    "train",
+		PhaseUpload:   "upload",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase must still print")
+	}
+}
+
+func TestDefaultPiPowerModelMatchesPaper(t *testing.T) {
+	pm := DefaultPiPowerModel()
+	if pm.Waiting != 3.6 || pm.Download != 4.286 || pm.Train != 5.553 || pm.Upload != 5.015 {
+		t.Errorf("default powers %+v do not match the paper's Section VI-B", pm)
+	}
+	if err := pm.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPowerModelValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*PowerModel)
+		wantErr bool
+	}{
+		{"default", func(*PowerModel) {}, false},
+		{"zero waiting", func(pm *PowerModel) { pm.Waiting = 0 }, true},
+		{"negative train", func(pm *PowerModel) { pm.Train = -1 }, true},
+		{"negative noise", func(pm *PowerModel) { pm.NoiseStdDev = -0.1 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pm := DefaultPiPowerModel()
+			tt.mutate(&pm)
+			if err := pm.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPowerAndEnergy(t *testing.T) {
+	pm := DefaultPiPowerModel()
+	if pm.Power(PhaseTrain) != 5.553 {
+		t.Errorf("Power(train) = %v", pm.Power(PhaseTrain))
+	}
+	if pm.Power(Phase(0)) != 0 {
+		t.Error("unknown phase power must be 0")
+	}
+	j := pm.Energy(PhaseTrain, 2*time.Second)
+	if math.Abs(j-11.106) > 1e-9 {
+		t.Errorf("Energy = %v, want 11.106", j)
+	}
+}
+
+func TestTrainDurationLinearLaw(t *testing.T) {
+	tm := DefaultPiTimeModel()
+	// Doubling samples roughly doubles per-epoch time minus overhead;
+	// doubling epochs exactly doubles total time.
+	d1 := tm.TrainDuration(10, 1000)
+	d2 := tm.TrainDuration(20, 1000)
+	if d2 != 2*d1 {
+		t.Errorf("doubling E: %v -> %v, want exact doubling", d1, d2)
+	}
+	dSmall := tm.TrainDuration(10, 100)
+	if dSmall >= d1 {
+		t.Error("fewer samples must take less time")
+	}
+	if tm.TrainDuration(0, 100) != 0 || tm.TrainDuration(10, 0) != 10*tm.TrainPerEpoch {
+		t.Error("degenerate inputs mishandled")
+	}
+}
+
+func TestDefaultTimeModelReproducesTableI(t *testing.T) {
+	// The calibrated defaults must reproduce the paper's Table-I durations
+	// within 10% on every row.
+	tm := DefaultPiTimeModel()
+	for _, row := range PaperTableI() {
+		got := tm.TrainDuration(row.Epochs, row.Samples).Seconds()
+		want := row.Duration.Seconds()
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("E=%d n=%d: simulated %.4fs vs paper %.4fs (%.1f%% off)",
+				row.Epochs, row.Samples, got, want, rel*100)
+		}
+	}
+}
+
+func TestPhaseAndRoundDuration(t *testing.T) {
+	tm := DefaultPiTimeModel()
+	var sum time.Duration
+	for _, p := range Phases {
+		sum += tm.PhaseDuration(p, 10, 500)
+	}
+	if sum != tm.RoundDuration(10, 500) {
+		t.Error("RoundDuration must equal the sum of phases")
+	}
+	if tm.PhaseDuration(Phase(0), 1, 1) != 0 {
+		t.Error("unknown phase duration must be 0")
+	}
+}
+
+func TestTimeModelValidate(t *testing.T) {
+	tm := DefaultPiTimeModel()
+	if err := tm.Validate(); err != nil {
+		t.Errorf("default Validate: %v", err)
+	}
+	bad := tm
+	bad.Download = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Error("negative duration must fail")
+	}
+	zero := TimeModel{}
+	if err := zero.Validate(); err == nil {
+		t.Error("zero training time must fail")
+	}
+}
+
+func TestDeviceModelCoefficientsMatchPaper(t *testing.T) {
+	// The headline calibration: c0 ≈ 7.79e-5 and c1 ≈ 3.34e-3 (Section VI-B).
+	dm := DefaultPiDeviceModel()
+	c0, c1 := dm.Coefficients()
+	if math.Abs(c0-7.79e-5)/7.79e-5 > 0.01 {
+		t.Errorf("c0 = %.4g, want within 1%% of 7.79e-5", c0)
+	}
+	if math.Abs(c1-3.34e-3)/3.34e-3 > 0.01 {
+		t.Errorf("c1 = %.4g, want within 1%% of 3.34e-3", c1)
+	}
+}
+
+func TestTrainEnergyEquation5(t *testing.T) {
+	// e_k^P(E, n) must equal c0·E·n + c1·E exactly (paper Eq. 5).
+	dm := DefaultPiDeviceModel()
+	c0, c1 := dm.Coefficients()
+	for _, tc := range []struct{ e, n int }{{1, 1}, {10, 100}, {40, 2000}, {100, 3000}} {
+		got := dm.TrainEnergy(tc.e, tc.n)
+		want := c0*float64(tc.e)*float64(tc.n) + c1*float64(tc.e)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("TrainEnergy(%d,%d) = %v, want %v", tc.e, tc.n, got, want)
+		}
+	}
+}
+
+func TestRoundEnergyComposition(t *testing.T) {
+	dm := DefaultPiDeviceModel()
+	total := dm.RoundEnergy(10, 500)
+	parts := dm.WaitingEnergy() + dm.DownloadEnergy() + dm.TrainEnergy(10, 500) + dm.UploadEnergy()
+	if math.Abs(total-parts) > 1e-12 {
+		t.Errorf("RoundEnergy = %v, parts sum to %v", total, parts)
+	}
+	if dm.UploadEnergy() <= 0 || dm.DownloadEnergy() <= 0 {
+		t.Error("upload/download energies must be positive")
+	}
+}
+
+func TestDeviceModelValidate(t *testing.T) {
+	dm := DefaultPiDeviceModel()
+	if err := dm.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	dm.Power.Train = 0
+	if err := dm.Validate(); err == nil {
+		t.Error("invalid power half must fail")
+	}
+}

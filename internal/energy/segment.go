@@ -1,0 +1,157 @@
+package energy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Segmenter recovers the phase structure of a power trace by classifying
+// each sample to the nearest canonical phase power and merging runs. This is
+// the analysis the paper performs on its Fig. 3 captures to attribute energy
+// to the waiting / download / train / upload steps.
+type Segmenter struct {
+	power PowerModel
+	// minRun is the minimum number of consecutive samples before a phase
+	// change is accepted; shorter runs are glitches and get absorbed into
+	// the surrounding phase. At 1 kHz the default 10 means 10 ms.
+	minRun int
+}
+
+// NewSegmenter returns a segmenter for the given canonical power model.
+// minRun <= 0 selects the default of 10 samples.
+func NewSegmenter(power PowerModel, minRun int) (*Segmenter, error) {
+	if err := power.Validate(); err != nil {
+		return nil, err
+	}
+	if minRun <= 0 {
+		minRun = 10
+	}
+	return &Segmenter{power: power, minRun: minRun}, nil
+}
+
+// classify maps a power reading to the phase with the nearest canonical
+// power level.
+func (s *Segmenter) classify(watts float64) Phase {
+	best := PhaseWaiting
+	bestDist := dist(watts, s.power.Waiting)
+	for _, p := range []Phase{PhaseDownload, PhaseTrain, PhaseUpload} {
+		if d := dist(watts, s.power.Power(p)); d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	return best
+}
+
+func dist(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Segment splits a trace into phase intervals.
+func (s *Segmenter) Segment(t *Trace) ([]Interval, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Samples) == 0 {
+		return nil, fmt.Errorf("empty trace: %w", ErrTrace)
+	}
+	// First pass: per-sample labels.
+	labels := make([]Phase, len(t.Samples))
+	for i, smp := range t.Samples {
+		labels[i] = s.classify(smp.Watts)
+	}
+	// Second pass: absorb runs shorter than minRun into the previous phase.
+	cleaned := make([]Phase, len(labels))
+	copy(cleaned, labels)
+	i := 0
+	for i < len(cleaned) {
+		j := i
+		for j < len(cleaned) && cleaned[j] == cleaned[i] {
+			j++
+		}
+		if j-i < s.minRun && i > 0 {
+			for k := i; k < j; k++ {
+				cleaned[k] = cleaned[i-1]
+			}
+		}
+		i = j
+	}
+	// Third pass: emit intervals.
+	var out []Interval
+	start := 0
+	for i := 1; i <= len(cleaned); i++ {
+		if i == len(cleaned) || cleaned[i] != cleaned[start] {
+			iv := Interval{
+				Phase: cleaned[start],
+				Start: t.Samples[start].T,
+			}
+			if i == len(cleaned) {
+				iv.End = t.Samples[len(t.Samples)-1].T
+			} else {
+				iv.End = t.Samples[i].T
+			}
+			out = append(out, iv)
+			start = i
+		}
+	}
+	return out, nil
+}
+
+// PhaseReport summarizes a segmented trace: per-phase total duration, total
+// energy and mean power.
+type PhaseReport struct {
+	Phase    Phase
+	Duration time.Duration
+	Joules   float64
+	// MeanWatts is Joules / Duration.
+	MeanWatts float64
+}
+
+// Report aggregates segments of a trace into one PhaseReport per phase,
+// in canonical phase order, skipping phases that never occur.
+func (s *Segmenter) Report(t *Trace) ([]PhaseReport, error) {
+	segments, err := s.Segment(t)
+	if err != nil {
+		return nil, err
+	}
+	byPhase := make(map[Phase]*PhaseReport)
+	for _, seg := range segments {
+		r, ok := byPhase[seg.Phase]
+		if !ok {
+			r = &PhaseReport{Phase: seg.Phase}
+			byPhase[seg.Phase] = r
+		}
+		r.Duration += seg.Duration()
+		r.Joules += t.EnergyBetween(seg.Start, seg.End)
+	}
+	var out []PhaseReport
+	for _, p := range Phases {
+		r, ok := byPhase[p]
+		if !ok {
+			continue
+		}
+		if secs := r.Duration.Seconds(); secs > 0 {
+			r.MeanWatts = r.Joules / secs
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// CountRounds estimates how many coordination rounds a segmented trace
+// contains by counting upload→waiting transitions (each round ends with an
+// upload).
+func CountRounds(segments []Interval) int {
+	rounds := 0
+	for i, seg := range segments {
+		if seg.Phase != PhaseUpload {
+			continue
+		}
+		if i == len(segments)-1 || segments[i+1].Phase == PhaseWaiting {
+			rounds++
+		}
+	}
+	return rounds
+}

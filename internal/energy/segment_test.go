@@ -1,0 +1,175 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func recordedRounds(t *testing.T, rounds int, noise float64, seed uint64) (*Trace, TimeModel) {
+	t.Helper()
+	pm := DefaultPiPowerModel()
+	pm.NoiseStdDev = noise
+	m, err := NewMeter(pm, 1000, seed)
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	tm := DefaultPiTimeModel()
+	trace, err := m.Record(RoundSchedule(tm, 40, 2000, rounds))
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	return trace, tm
+}
+
+func TestSegmentRecoversSchedule(t *testing.T) {
+	trace, tm := recordedRounds(t, 2, 0, 1)
+	seg, err := NewSegmenter(DefaultPiPowerModel(), 0)
+	if err != nil {
+		t.Fatalf("NewSegmenter: %v", err)
+	}
+	segments, err := seg.Segment(trace)
+	if err != nil {
+		t.Fatalf("Segment: %v", err)
+	}
+	if len(segments) != 8 {
+		t.Fatalf("got %d segments, want 8", len(segments))
+	}
+	for i, s := range segments {
+		if s.Phase != Phases[i%4] {
+			t.Errorf("segment %d phase = %v, want %v", i, s.Phase, Phases[i%4])
+		}
+	}
+	// Training segment duration must be close to the model's law.
+	wantTrain := tm.TrainDuration(40, 2000)
+	gotTrain := segments[2].Duration()
+	if math.Abs(gotTrain.Seconds()-wantTrain.Seconds()) > 0.01 {
+		t.Errorf("train segment = %v, want ≈%v", gotTrain, wantTrain)
+	}
+}
+
+func TestSegmentTolneratesNoise(t *testing.T) {
+	// Realistic meter noise (0.05 W) must not fragment the phases: canonical
+	// levels are ≥ 0.4 W apart.
+	trace, _ := recordedRounds(t, 2, 0.05, 7)
+	seg, err := NewSegmenter(DefaultPiPowerModel(), 10)
+	if err != nil {
+		t.Fatalf("NewSegmenter: %v", err)
+	}
+	segments, err := seg.Segment(trace)
+	if err != nil {
+		t.Fatalf("Segment: %v", err)
+	}
+	if len(segments) != 8 {
+		t.Errorf("noisy trace fragmented into %d segments, want 8", len(segments))
+	}
+	if CountRounds(segments) != 2 {
+		t.Errorf("CountRounds = %d, want 2", CountRounds(segments))
+	}
+}
+
+func TestReportMatchesPaperPhasePowers(t *testing.T) {
+	// The per-phase mean powers recovered from a noisy trace must land on
+	// the paper's numbers: 3.6 / 4.286 / 5.553 / 5.015 W.
+	trace, _ := recordedRounds(t, 3, 0.05, 21)
+	seg, err := NewSegmenter(DefaultPiPowerModel(), 10)
+	if err != nil {
+		t.Fatalf("NewSegmenter: %v", err)
+	}
+	reports, err := seg.Report(trace)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("got %d phase reports, want 4", len(reports))
+	}
+	want := map[Phase]float64{
+		PhaseWaiting:  3.600,
+		PhaseDownload: 4.286,
+		PhaseTrain:    5.553,
+		PhaseUpload:   5.015,
+	}
+	for _, r := range reports {
+		if math.Abs(r.MeanWatts-want[r.Phase]) > 0.05 {
+			t.Errorf("%v mean power = %.3f W, want ≈%.3f W", r.Phase, r.MeanWatts, want[r.Phase])
+		}
+		if r.Joules <= 0 || r.Duration <= 0 {
+			t.Errorf("%v report has non-positive totals: %+v", r.Phase, r)
+		}
+	}
+}
+
+func TestReportEnergySumsToTraceEnergy(t *testing.T) {
+	trace, _ := recordedRounds(t, 2, 0, 3)
+	seg, err := NewSegmenter(DefaultPiPowerModel(), 0)
+	if err != nil {
+		t.Fatalf("NewSegmenter: %v", err)
+	}
+	reports, err := seg.Report(trace)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	var sum float64
+	for _, r := range reports {
+		sum += r.Joules
+	}
+	if total := trace.Energy(); math.Abs(sum-total)/total > 0.02 {
+		t.Errorf("phase energies sum to %v, trace total %v", sum, total)
+	}
+}
+
+func TestSegmentEmptyTrace(t *testing.T) {
+	seg, err := NewSegmenter(DefaultPiPowerModel(), 0)
+	if err != nil {
+		t.Fatalf("NewSegmenter: %v", err)
+	}
+	if _, err := seg.Segment(&Trace{SampleRate: 1000}); !errors.Is(err, ErrTrace) {
+		t.Errorf("empty trace = %v, want ErrTrace", err)
+	}
+}
+
+func TestNewSegmenterRejectsBadModel(t *testing.T) {
+	pm := DefaultPiPowerModel()
+	pm.Upload = -1
+	if _, err := NewSegmenter(pm, 0); err == nil {
+		t.Error("bad power model must be rejected")
+	}
+}
+
+func TestMinRunAbsorbsGlitches(t *testing.T) {
+	// A trace with a single-sample spike inside a long waiting stretch must
+	// segment as pure waiting.
+	samples := make([]Sample, 100)
+	for i := range samples {
+		w := 3.6
+		if i == 50 {
+			w = 5.553 // one glitch sample
+		}
+		samples[i] = Sample{T: time.Duration(i) * time.Millisecond, Watts: w}
+	}
+	trace := &Trace{SampleRate: 1000, Samples: samples}
+	seg, err := NewSegmenter(DefaultPiPowerModel(), 5)
+	if err != nil {
+		t.Fatalf("NewSegmenter: %v", err)
+	}
+	segments, err := seg.Segment(trace)
+	if err != nil {
+		t.Fatalf("Segment: %v", err)
+	}
+	if len(segments) != 1 || segments[0].Phase != PhaseWaiting {
+		t.Errorf("glitch not absorbed: %+v", segments)
+	}
+}
+
+func TestCountRoundsEdgeCases(t *testing.T) {
+	if CountRounds(nil) != 0 {
+		t.Error("no segments → 0 rounds")
+	}
+	oneRound := []Interval{
+		{Phase: PhaseWaiting}, {Phase: PhaseDownload}, {Phase: PhaseTrain}, {Phase: PhaseUpload},
+	}
+	if CountRounds(oneRound) != 1 {
+		t.Error("trailing upload must count as a round")
+	}
+}

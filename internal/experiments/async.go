@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"eefei/internal/energy"
+	"eefei/internal/fl"
+)
+
+// AsyncComparison pits synchronous FedAvg against the asynchronous
+// staleness-weighted variant at equal local work per update, measuring how
+// much total client compute each needs to reach the accuracy target and
+// what that costs with the calibrated device model. Async rounds carry no
+// waiting phase (nobody blocks on a straggler), which is its energy
+// advantage; its disadvantage is staleness-discounted progress.
+type AsyncComparison struct {
+	// SyncRounds is the synchronous rounds to target (K clients each).
+	SyncRounds int
+	// SyncClientUpdates is SyncRounds × K.
+	SyncClientUpdates int
+	// SyncJoules is the simulated prototype energy (with waiting).
+	SyncJoules float64
+	// AsyncUpdates is the applied async updates to target.
+	AsyncUpdates int
+	// AsyncJoules is the projected async energy: per-update train +
+	// download + upload, no waiting phase.
+	AsyncJoules float64
+	// AsyncFinalAccuracy, SyncFinalAccuracy are the accuracies when each
+	// run stopped.
+	AsyncFinalAccuracy, SyncFinalAccuracy float64
+}
+
+// CompareAsync runs both schedulers at the same K-ish work shape: sync uses
+// (k, e); async dispatches to all servers and applies e-epoch updates one
+// at a time with mixing weight mix.
+func CompareAsync(setup *Setup, k, e int, mix float64) (*AsyncComparison, error) {
+	out := &AsyncComparison{}
+
+	// Synchronous reference.
+	syncRes, err := setup.RunTraining(k, e, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sync run: %w", err)
+	}
+	out.SyncRounds = RoundsToAccuracy(syncRes.History, setup.AccuracyTarget)
+	if out.SyncRounds < 0 {
+		out.SyncRounds = len(syncRes.History)
+	}
+	out.SyncClientUpdates = out.SyncRounds * k
+	out.SyncJoules = syncRes.TotalJoules()
+	out.SyncFinalAccuracy = syncRes.FinalAccuracy
+
+	// Asynchronous run.
+	acfg := fl.AsyncConfig{
+		LocalEpochs:  e,
+		LearningRate: setup.LearningRate,
+		Decay:        setup.Decay,
+		MixWeight:    mix,
+		Seed:         1,
+	}
+	engine, err := fl.NewAsyncEngine(acfg, setup.Shards, setup.Test)
+	if err != nil {
+		return nil, fmt.Errorf("async engine: %w", err)
+	}
+	cap := setup.RoundCap * k
+	updates, err := engine.Run(func(h []fl.AsyncUpdate) bool {
+		return fl.AsyncTargetAccuracy(setup.AccuracyTarget)(h) || fl.MaxAsyncSteps(cap)(h)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("async run: %w", err)
+	}
+	out.AsyncUpdates = len(updates)
+	if n := len(updates); n > 0 {
+		out.AsyncFinalAccuracy = updates[n-1].TestAccuracy
+	}
+
+	// Async energy: every applied update pays download + train + upload but
+	// no synchronized waiting.
+	dm := energy.DefaultPiDeviceModel()
+	n := setup.SamplesPerServer()
+	perUpdate := dm.DownloadEnergy() + dm.TrainEnergy(e, n) + dm.UploadEnergy()
+	out.AsyncJoules = float64(out.AsyncUpdates) * perUpdate
+	return out, nil
+}
+
+// Render writes the comparison.
+func (c *AsyncComparison) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ablation — synchronous FedAvg vs asynchronous staleness-weighted updates"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"  sync : %4d rounds  (%4d client updates)  %8.1f J  final acc %.4f\n"+
+			"  async: %4d updates %26s %8.1f J  final acc %.4f\n",
+		c.SyncRounds, c.SyncClientUpdates, c.SyncJoules, c.SyncFinalAccuracy,
+		c.AsyncUpdates, "", c.AsyncJoules, c.AsyncFinalAccuracy)
+	return err
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers so the figure data can be replotted with external tooling.
+// Each writer emits a header row followed by one record per data point.
+
+// WriteTable1CSV emits E, n_k, simulated and paper durations.
+func WriteTable1CSV(w io.Writer, r *Table1Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"epochs", "samples", "sim_seconds", "paper_seconds"}); err != nil {
+		return fmt.Errorf("table1 csv header: %w", err)
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.Epochs),
+			strconv.Itoa(row.Samples),
+			formatF(row.SimSeconds),
+			formatF(row.PaperSeconds),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table1 csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTraceCSV emits the raw power samples of a Fig.-3 trace.
+func WriteTraceCSV(w io.Writer, r *Figure3Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "watts"}); err != nil {
+		return fmt.Errorf("trace csv header: %w", err)
+	}
+	for _, s := range r.Trace.Samples {
+		if err := cw.Write([]string{formatF(s.T.Seconds()), formatF(s.Watts)}); err != nil {
+			return fmt.Errorf("trace csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4CSV emits round-by-round loss and accuracy for every series.
+func WriteFigure4CSV(w io.Writer, r *Figure4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "k", "e", "round", "loss", "accuracy"}); err != nil {
+		return fmt.Errorf("fig4 csv header: %w", err)
+	}
+	emit := func(series []Figure4Series) error {
+		for _, s := range series {
+			for i := range s.Loss {
+				rec := []string{
+					s.Label,
+					strconv.Itoa(s.K),
+					strconv.Itoa(s.E),
+					strconv.Itoa(i),
+					formatF(s.Loss[i]),
+					formatF(s.Accuracy[i]),
+				}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("fig4 csv row: %w", err)
+				}
+			}
+		}
+		return nil
+	}
+	if err := emit(r.FixedE); err != nil {
+		return err
+	}
+	if err := emit(r.FixedK); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEnergyCurveCSV emits the Fig.-5/6 theory-vs-measured points.
+func WriteEnergyCurveCSV(w io.Writer, param string, pts []EnergyCurvePoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{param, "measured_joules", "theory_joules", "empirical_rounds", "theory_rounds", "final_accuracy"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("energy csv header: %w", err)
+	}
+	for _, p := range pts {
+		rec := []string{
+			strconv.Itoa(p.Param),
+			formatF(p.MeasuredJoules),
+			formatF(p.TheoryJoules),
+			strconv.Itoa(p.EmpiricalRounds),
+			formatF(p.TheoryRounds),
+			formatF(p.FinalAccuracy),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("energy csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

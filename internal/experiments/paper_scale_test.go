@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"eefei/internal/fl"
+	"eefei/internal/sim"
+)
+
+// TestPaperScaleSmoke exercises the prototype-scale path (28×28 images,
+// 60 000 samples, 20 servers × 3000) end-to-end: dataset synthesis,
+// sharding, and one federated round with energy accounting. It allocates
+// ~0.5 GB and takes tens of seconds, so it only runs when explicitly
+// requested:
+//
+//	EEFEI_PAPER_SCALE=1 go test ./internal/experiments/ -run PaperScaleSmoke -v
+func TestPaperScaleSmoke(t *testing.T) {
+	if os.Getenv("EEFEI_PAPER_SCALE") == "" {
+		t.Skip("set EEFEI_PAPER_SCALE=1 to run the prototype-scale smoke test")
+	}
+	setup, err := NewSetup(Paper)
+	if err != nil {
+		t.Fatalf("NewSetup: %v", err)
+	}
+	if setup.SamplesPerServer() != 3000 {
+		t.Fatalf("samples per server = %d, want 3000 (paper allocation)", setup.SamplesPerServer())
+	}
+	if setup.Shards[0].Dim() != 784 {
+		t.Fatalf("dim = %d, want 784", setup.Shards[0].Dim())
+	}
+	system, err := sim.New(setup.simConfig(10, 1, 1), setup.Shards, setup.Test)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	res, err := system.Run(fl.MaxRounds(2))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// One round of K=10, E=1 on 3000-sample shards must post the analytic
+	// per-round energy.
+	if res.Ledger.Rounds() < 1 {
+		t.Fatal("no rounds recorded")
+	}
+	if res.TotalJoules() <= 0 {
+		t.Fatal("no energy recorded")
+	}
+}

@@ -1,0 +1,283 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"eefei/internal/dataset"
+	"eefei/internal/mat"
+	"eefei/internal/ml"
+)
+
+// Asynchronous federated averaging (FedAsync-style): instead of synchronous
+// rounds where K servers train in lockstep, every completed local training
+// is applied to the global model immediately with a staleness-discounted
+// mixing weight
+//
+//	ω ← (1 − α_s)·ω + α_s·ω_k,   α_s = α / (staleness + 1)
+//
+// where staleness counts how many global updates landed while client k was
+// training. Asynchrony removes the synchronous-round straggler waste the
+// heterogeneity ablation quantifies (the paper's Section II cites this
+// line of work as the scheduling alternative).
+
+// ErrAsync is returned (wrapped) for invalid async configurations.
+var ErrAsync = errors.New("fl: invalid async config")
+
+// AsyncConfig parameterizes an asynchronous run.
+type AsyncConfig struct {
+	// LocalEpochs is E, the local epochs per dispatched task.
+	LocalEpochs int
+	// LearningRate is the local SGD step size γ.
+	LearningRate float64
+	// Decay multiplies γ once per dispatched task.
+	Decay float64
+	// MixWeight is α, the base mixing weight of a fresh (staleness-0)
+	// update. The synchronous mean with K=1 corresponds to α = 1.
+	MixWeight float64
+	// MaxStaleness drops updates older than this many global versions
+	// (0 = never drop).
+	MaxStaleness int
+	// Activation selects the classifier head.
+	Activation ml.Activation
+	// Seed drives client scheduling.
+	Seed uint64
+}
+
+// DefaultAsyncConfig mirrors the synchronous default's local work.
+func DefaultAsyncConfig() AsyncConfig {
+	return AsyncConfig{
+		LocalEpochs:  40,
+		LearningRate: 0.01,
+		Decay:        0.99,
+		MixWeight:    0.6,
+		Activation:   ml.Softmax,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration.
+func (c AsyncConfig) Validate() error {
+	if c.LocalEpochs < 1 {
+		return fmt.Errorf("E=%d: %w", c.LocalEpochs, ErrAsync)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("learning rate %v: %w", c.LearningRate, ErrAsync)
+	}
+	if c.Decay < 0 || c.Decay > 1 {
+		return fmt.Errorf("decay %v: %w", c.Decay, ErrAsync)
+	}
+	if c.MixWeight <= 0 || c.MixWeight > 1 {
+		return fmt.Errorf("mix weight %v outside (0,1]: %w", c.MixWeight, ErrAsync)
+	}
+	if c.MaxStaleness < 0 {
+		return fmt.Errorf("max staleness %d: %w", c.MaxStaleness, ErrAsync)
+	}
+	return nil
+}
+
+// AsyncUpdate records one applied (or dropped) asynchronous update.
+type AsyncUpdate struct {
+	// Step is the global version after this update (1-based).
+	Step int
+	// Client is the edge server that trained.
+	Client int
+	// Staleness is how many global versions landed during its training.
+	Staleness int
+	// Applied is false when the update exceeded MaxStaleness.
+	Applied bool
+	// MixWeight is the effective α_s used (0 when dropped).
+	MixWeight float64
+	// TrainLoss is the global loss after the update (NaN when dropped and
+	// no evaluation was performed).
+	TrainLoss float64
+	// TestAccuracy is the post-update accuracy (NaN without a test set).
+	TestAccuracy float64
+}
+
+// AsyncEngine simulates asynchronous FL: a queue of in-flight local
+// trainings completes in randomized order, each applying to the global
+// model with a staleness discount. Completion order is drawn from the
+// engine's RNG, so runs are deterministic per seed.
+type AsyncEngine struct {
+	cfg    AsyncConfig
+	shards []*dataset.Dataset
+	global *ml.Model
+	test   *dataset.Dataset
+	rng    *mat.RNG
+
+	// inflight holds, per busy client, the global version it started from.
+	inflight map[int]int
+	version  int
+	history  []AsyncUpdate
+	tasks    int // dispatched tasks, drives decay
+}
+
+// NewAsyncEngine builds an engine over the shards; test may be nil.
+func NewAsyncEngine(cfg AsyncConfig, shards []*dataset.Dataset, test *dataset.Dataset) (*AsyncEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("no shards: %w", ErrAsync)
+	}
+	dim, classes := shards[0].Dim(), shards[0].Classes
+	for i, s := range shards {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if s.Dim() != dim || s.Classes != classes {
+			return nil, fmt.Errorf("shard %d shape mismatch: %w", i, ErrAsync)
+		}
+	}
+	act := cfg.Activation
+	if act == 0 {
+		act = ml.Softmax
+	}
+	return &AsyncEngine{
+		cfg:      cfg,
+		shards:   shards,
+		global:   ml.NewModel(classes, dim, act),
+		test:     test,
+		rng:      mat.NewRNG(cfg.Seed),
+		inflight: make(map[int]int),
+	}, nil
+}
+
+// Global returns the current global model.
+func (e *AsyncEngine) Global() *ml.Model { return e.global }
+
+// Version returns the number of applied global updates.
+func (e *AsyncEngine) Version() int { return e.version }
+
+// History returns all update records.
+func (e *AsyncEngine) History() []AsyncUpdate { return e.history }
+
+// Step processes one completion: if no trainings are in flight, it first
+// dispatches every idle client (all clients train continuously in the
+// async model), then completes one uniformly at random.
+func (e *AsyncEngine) Step() (AsyncUpdate, error) {
+	// Keep every client busy: dispatch idle clients at the current version.
+	for c := range e.shards {
+		if _, busy := e.inflight[c]; !busy {
+			e.inflight[c] = e.version
+		}
+	}
+	// Complete a uniformly random in-flight task. Map iteration order is
+	// not deterministic, so materialize and index via the RNG.
+	busy := make([]int, 0, len(e.inflight))
+	for c := range e.inflight {
+		busy = append(busy, c)
+	}
+	sort.Ints(busy)
+	client := busy[e.rng.Intn(len(busy))]
+	startVersion := e.inflight[client]
+	delete(e.inflight, client)
+
+	staleness := e.version - startVersion
+	upd := AsyncUpdate{
+		Client:       client,
+		Staleness:    staleness,
+		TrainLoss:    math.NaN(),
+		TestAccuracy: math.NaN(),
+	}
+
+	if e.cfg.MaxStaleness > 0 && staleness > e.cfg.MaxStaleness {
+		upd.Step = e.version
+		e.history = append(e.history, upd)
+		return upd, nil
+	}
+
+	// Local training from the (stale) snapshot the client actually had.
+	// The model at dispatch time is approximated by the current global for
+	// staleness 0 and by a staleness-discounted mix otherwise; training
+	// always starts from the current global in this in-process simulation,
+	// with the staleness discount applied at aggregation — the standard
+	// FedAsync simulation shortcut.
+	lr := e.cfg.LearningRate
+	if e.cfg.Decay > 0 {
+		lr *= math.Pow(e.cfg.Decay, float64(e.tasks))
+	}
+	e.tasks++
+	local := e.global.Clone()
+	sgd, err := ml.NewSGD(ml.SGDConfig{
+		LearningRate: lr,
+		Seed:         e.cfg.Seed ^ uint64(client)<<24 ^ uint64(e.tasks),
+	})
+	if err != nil {
+		return AsyncUpdate{}, err
+	}
+	if _, err := sgd.Train(local, e.shards[client], e.cfg.LocalEpochs); err != nil {
+		return AsyncUpdate{}, fmt.Errorf("async client %d: %w", client, err)
+	}
+
+	alpha := e.cfg.MixWeight / float64(staleness+1)
+	// ω ← (1−α)ω + α·ω_k
+	e.global.Scale(1 - alpha)
+	if err := e.global.AddScaled(alpha, local); err != nil {
+		return AsyncUpdate{}, fmt.Errorf("async mix: %w", err)
+	}
+	e.version++
+
+	upd.Applied = true
+	upd.MixWeight = alpha
+	upd.Step = e.version
+
+	loss, err := e.globalLoss()
+	if err != nil {
+		return AsyncUpdate{}, err
+	}
+	upd.TrainLoss = loss
+	if e.test != nil {
+		acc, err := ml.Accuracy(e.global, e.test)
+		if err != nil {
+			return AsyncUpdate{}, err
+		}
+		upd.TestAccuracy = acc
+	}
+	e.history = append(e.history, upd)
+	return upd, nil
+}
+
+// Run performs steps until the predicate over the history fires.
+func (e *AsyncEngine) Run(stop func(history []AsyncUpdate) bool) ([]AsyncUpdate, error) {
+	if stop == nil {
+		return nil, fmt.Errorf("nil stop condition: %w", ErrAsync)
+	}
+	start := len(e.history)
+	for !stop(e.history) {
+		if _, err := e.Step(); err != nil {
+			return e.history[start:], err
+		}
+	}
+	return e.history[start:], nil
+}
+
+// globalLoss evaluates F(ω) over all shards, weighted by shard size.
+func (e *AsyncEngine) globalLoss() (float64, error) {
+	var weighted float64
+	var total int
+	for i, s := range e.shards {
+		l, err := ml.Loss(e.global, s)
+		if err != nil {
+			return 0, fmt.Errorf("shard %d loss: %w", i, err)
+		}
+		weighted += l * float64(s.Len())
+		total += s.Len()
+	}
+	return weighted / float64(total), nil
+}
+
+// MaxAsyncSteps stops after n steps (applied or dropped).
+func MaxAsyncSteps(n int) func([]AsyncUpdate) bool {
+	return func(h []AsyncUpdate) bool { return len(h) >= n }
+}
+
+// AsyncTargetAccuracy stops once an applied update reaches accuracy a.
+func AsyncTargetAccuracy(a float64) func([]AsyncUpdate) bool {
+	return func(h []AsyncUpdate) bool {
+		return len(h) > 0 && h[len(h)-1].TestAccuracy >= a
+	}
+}

@@ -1,0 +1,185 @@
+package fl
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAsyncConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*AsyncConfig)
+		wantErr bool
+	}{
+		{"default", func(*AsyncConfig) {}, false},
+		{"zero epochs", func(c *AsyncConfig) { c.LocalEpochs = 0 }, true},
+		{"zero lr", func(c *AsyncConfig) { c.LearningRate = 0 }, true},
+		{"decay above one", func(c *AsyncConfig) { c.Decay = 2 }, true},
+		{"zero mix", func(c *AsyncConfig) { c.MixWeight = 0 }, true},
+		{"mix above one", func(c *AsyncConfig) { c.MixWeight = 1.5 }, true},
+		{"negative staleness", func(c *AsyncConfig) { c.MaxStaleness = -1 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultAsyncConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func asyncQuickConfig() AsyncConfig {
+	return AsyncConfig{
+		LocalEpochs:  5,
+		LearningRate: 0.5,
+		Decay:        0.995,
+		MixWeight:    0.6,
+		Seed:         1,
+	}
+}
+
+func TestNewAsyncEngineErrors(t *testing.T) {
+	if _, err := NewAsyncEngine(asyncQuickConfig(), nil, nil); !errors.Is(err, ErrAsync) {
+		t.Errorf("no shards = %v, want ErrAsync", err)
+	}
+	cfg := asyncQuickConfig()
+	cfg.LocalEpochs = 0
+	shards, _ := quickShards(t, 4)
+	if _, err := NewAsyncEngine(cfg, shards, nil); !errors.Is(err, ErrAsync) {
+		t.Errorf("bad config = %v, want ErrAsync", err)
+	}
+}
+
+func TestAsyncTrainingConverges(t *testing.T) {
+	shards, test := quickShards(t, 10)
+	e, err := NewAsyncEngine(asyncQuickConfig(), shards, test)
+	if err != nil {
+		t.Fatalf("NewAsyncEngine: %v", err)
+	}
+	updates, err := e.Run(MaxAsyncSteps(60))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(updates) != 60 {
+		t.Fatalf("updates = %d, want 60", len(updates))
+	}
+	first, last := updates[0], updates[len(updates)-1]
+	if last.TrainLoss >= first.TrainLoss {
+		t.Errorf("async loss did not fall: %v -> %v", first.TrainLoss, last.TrainLoss)
+	}
+	if last.TestAccuracy < 0.8 {
+		t.Errorf("async accuracy = %v after 60 updates", last.TestAccuracy)
+	}
+}
+
+func TestAsyncStalenessDiscount(t *testing.T) {
+	shards, _ := quickShards(t, 10)
+	e, err := NewAsyncEngine(asyncQuickConfig(), shards, nil)
+	if err != nil {
+		t.Fatalf("NewAsyncEngine: %v", err)
+	}
+	sawStale := false
+	for i := 0; i < 40; i++ {
+		upd, err := e.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if !upd.Applied {
+			t.Fatalf("update dropped with MaxStaleness=0: %+v", upd)
+		}
+		wantAlpha := 0.6 / float64(upd.Staleness+1)
+		if math.Abs(upd.MixWeight-wantAlpha) > 1e-12 {
+			t.Fatalf("mix weight %v for staleness %d, want %v",
+				upd.MixWeight, upd.Staleness, wantAlpha)
+		}
+		if upd.Staleness > 0 {
+			sawStale = true
+		}
+	}
+	if !sawStale {
+		t.Error("40 async steps over 10 clients should produce stale updates")
+	}
+}
+
+func TestAsyncMaxStalenessDrops(t *testing.T) {
+	shards, _ := quickShards(t, 10)
+	cfg := asyncQuickConfig()
+	cfg.MaxStaleness = 1
+	e, err := NewAsyncEngine(cfg, shards, nil)
+	if err != nil {
+		t.Fatalf("NewAsyncEngine: %v", err)
+	}
+	dropped := 0
+	for i := 0; i < 60; i++ {
+		upd, err := e.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if !upd.Applied {
+			dropped++
+			if upd.Staleness <= cfg.MaxStaleness {
+				t.Fatalf("dropped update with staleness %d <= max %d", upd.Staleness, cfg.MaxStaleness)
+			}
+			if upd.MixWeight != 0 {
+				t.Fatal("dropped update must carry zero mix weight")
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Error("MaxStaleness=1 over 10 clients should drop some updates")
+	}
+	// Version only counts applied updates.
+	if e.Version() != 60-dropped {
+		t.Errorf("version = %d, want %d", e.Version(), 60-dropped)
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	run := func() float64 {
+		shards, _ := quickShards(t, 8)
+		e, err := NewAsyncEngine(asyncQuickConfig(), shards, nil)
+		if err != nil {
+			t.Fatalf("NewAsyncEngine: %v", err)
+		}
+		if _, err := e.Run(MaxAsyncSteps(20)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		h := e.History()
+		return h[len(h)-1].TrainLoss
+	}
+	if run() != run() {
+		t.Error("same-seed async runs must be identical")
+	}
+}
+
+func TestAsyncRunNilStop(t *testing.T) {
+	shards, _ := quickShards(t, 4)
+	e, err := NewAsyncEngine(asyncQuickConfig(), shards, nil)
+	if err != nil {
+		t.Fatalf("NewAsyncEngine: %v", err)
+	}
+	if _, err := e.Run(nil); !errors.Is(err, ErrAsync) {
+		t.Errorf("nil stop = %v, want ErrAsync", err)
+	}
+}
+
+func TestAsyncTargetAccuracyStop(t *testing.T) {
+	shards, test := quickShards(t, 10)
+	e, err := NewAsyncEngine(asyncQuickConfig(), shards, test)
+	if err != nil {
+		t.Fatalf("NewAsyncEngine: %v", err)
+	}
+	updates, err := e.Run(func(h []AsyncUpdate) bool {
+		return AsyncTargetAccuracy(0.8)(h) || MaxAsyncSteps(150)(h)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	last := updates[len(updates)-1]
+	if last.TestAccuracy < 0.8 && len(updates) < 150 {
+		t.Errorf("stopped early at accuracy %v", last.TestAccuracy)
+	}
+}

@@ -1,0 +1,409 @@
+// Package fl implements the in-process federated-learning substrate the
+// paper's FEI system runs: FedAvg coordination (Section III-A) across edge
+// servers holding disjoint shards, with configurable client selection, local
+// epoch counts E, per-round learning-rate decay, parallel local training,
+// and stop conditions on rounds / loss / accuracy. The networked counterpart
+// lives in package flnet; both share this package's aggregation logic.
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"eefei/internal/dataset"
+	"eefei/internal/mat"
+	"eefei/internal/ml"
+)
+
+// ErrConfig is returned (wrapped) for invalid engine configurations.
+var ErrConfig = errors.New("fl: invalid config")
+
+// Config are the federated hyper-parameters of one training run.
+type Config struct {
+	// ClientsPerRound is K, the number of edge servers selected each round.
+	ClientsPerRound int
+	// LocalEpochs is E, the local SGD epochs per selected server per round.
+	LocalEpochs int
+	// LearningRate is γ at round 0.
+	LearningRate float64
+	// Decay multiplies the learning rate once per global round (paper:
+	// 0.99). Zero disables decay.
+	Decay float64
+	// BatchSize is the local mini-batch size; 0 selects full batch (the
+	// paper's setting).
+	BatchSize int
+	// Activation selects the classifier head.
+	Activation ml.Activation
+	// ProximalMu enables FedProx local training with strength µ (0 = plain
+	// FedAvg, the paper's algorithm).
+	ProximalMu float64
+	// Seed drives client selection and any mini-batch shuffling.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's Table II with K=10, E=40.
+func DefaultConfig() Config {
+	return Config{
+		ClientsPerRound: 10,
+		LocalEpochs:     40,
+		LearningRate:    0.01,
+		Decay:           0.99,
+		Activation:      ml.Softmax,
+		Seed:            1,
+	}
+}
+
+// Validate checks the configuration against the number of available shards.
+func (c Config) Validate(shards int) error {
+	if c.ClientsPerRound < 1 || c.ClientsPerRound > shards {
+		return fmt.Errorf("K=%d with %d shards: %w", c.ClientsPerRound, shards, ErrConfig)
+	}
+	if c.LocalEpochs < 1 {
+		return fmt.Errorf("E=%d: %w", c.LocalEpochs, ErrConfig)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("learning rate %v: %w", c.LearningRate, ErrConfig)
+	}
+	if c.Decay < 0 || c.Decay > 1 {
+		return fmt.Errorf("decay %v: %w", c.Decay, ErrConfig)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("batch size %d: %w", c.BatchSize, ErrConfig)
+	}
+	if c.ProximalMu < 0 {
+		return fmt.Errorf("proximal mu %v: %w", c.ProximalMu, ErrConfig)
+	}
+	return nil
+}
+
+// Selector chooses which clients participate in a round.
+type Selector interface {
+	// Select returns K distinct client indices out of n for round t.
+	Select(rng *mat.RNG, n, k, round int) []int
+}
+
+// RandomSelector draws K clients uniformly without replacement each round —
+// the paper's "randomly selected subset K_t ⊆ K".
+type RandomSelector struct{}
+
+var _ Selector = RandomSelector{}
+
+// Select implements Selector.
+func (RandomSelector) Select(rng *mat.RNG, n, k, _ int) []int {
+	return rng.Sample(n, k)
+}
+
+// RoundRobinSelector cycles deterministically through clients, useful for
+// reproducing traces where participation order matters.
+type RoundRobinSelector struct{}
+
+var _ Selector = RoundRobinSelector{}
+
+// Select implements Selector.
+func (RoundRobinSelector) Select(_ *mat.RNG, n, k, round int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = (round*k + i) % n
+	}
+	return out
+}
+
+// RoundRecord captures one global coordination round.
+type RoundRecord struct {
+	// Round is the zero-based round index t.
+	Round int
+	// Selected are the participating client indices K_t.
+	Selected []int
+	// TrainLoss is the global loss F(ω_{t+1}) over the union of all shards,
+	// measured after aggregation.
+	TrainLoss float64
+	// TestAccuracy is the post-aggregation accuracy on the test set, or NaN
+	// when no test set is attached.
+	TestAccuracy float64
+	// LearningRate is the γ used for this round's local training.
+	LearningRate float64
+	// LocalLosses holds each selected client's final local training loss,
+	// parallel to Selected.
+	LocalLosses []float64
+}
+
+// Observer is notified after every completed round; the energy simulator
+// hooks in here.
+type Observer func(RoundRecord)
+
+// Engine runs FedAvg over in-memory shards.
+type Engine struct {
+	cfg      Config
+	shards   []*dataset.Dataset
+	global   *ml.Model
+	test     *dataset.Dataset
+	selector Selector
+	agg      Aggregator
+	observer Observer
+	rng      *mat.RNG
+	parallel int
+	round    int
+	history  []RoundRecord
+}
+
+// Option customizes an Engine.
+type Option func(*Engine)
+
+// WithTestSet attaches a held-out evaluation set; rounds then report
+// TestAccuracy.
+func WithTestSet(test *dataset.Dataset) Option {
+	return func(e *Engine) { e.test = test }
+}
+
+// WithSelector replaces the default RandomSelector.
+func WithSelector(s Selector) Option {
+	return func(e *Engine) { e.selector = s }
+}
+
+// WithAggregator replaces the default MeanAggregator (paper Eq. 2).
+func WithAggregator(a Aggregator) Option {
+	return func(e *Engine) { e.agg = a }
+}
+
+// WithObserver registers a per-round callback.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) { e.observer = o }
+}
+
+// WithParallelism caps concurrent local-training goroutines; 1 forces
+// sequential execution, 0 selects GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallel = n }
+}
+
+// NewEngine validates the config and builds an engine over the given shards.
+// All shards must agree on dimensionality and class count.
+func NewEngine(cfg Config, shards []*dataset.Dataset, opts ...Option) (*Engine, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("no shards: %w", ErrConfig)
+	}
+	if err := cfg.Validate(len(shards)); err != nil {
+		return nil, err
+	}
+	dim, classes := shards[0].Dim(), shards[0].Classes
+	for i, s := range shards {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if s.Dim() != dim || s.Classes != classes {
+			return nil, fmt.Errorf("shard %d shape %d/%d differs from shard 0 %d/%d: %w",
+				i, s.Dim(), s.Classes, dim, classes, ErrConfig)
+		}
+	}
+	act := cfg.Activation
+	if act == 0 {
+		act = ml.Softmax
+	}
+	e := &Engine{
+		cfg:      cfg,
+		shards:   shards,
+		global:   ml.NewModel(classes, dim, act),
+		selector: RandomSelector{},
+		agg:      MeanAggregator{},
+		rng:      mat.NewRNG(cfg.Seed),
+		parallel: runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.parallel <= 0 {
+		e.parallel = runtime.GOMAXPROCS(0)
+	}
+	return e, nil
+}
+
+// Global returns the current global model (live reference; callers must not
+// mutate it mid-run).
+func (e *Engine) Global() *ml.Model { return e.global }
+
+// Rounds returns how many rounds have completed.
+func (e *Engine) Rounds() int { return e.round }
+
+// History returns the accumulated round records.
+func (e *Engine) History() []RoundRecord { return e.history }
+
+// Shards returns the number of edge servers.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// currentLR returns γ_t = γ0 · decay^t.
+func (e *Engine) currentLR() float64 {
+	if e.cfg.Decay == 0 {
+		return e.cfg.LearningRate
+	}
+	return e.cfg.LearningRate * math.Pow(e.cfg.Decay, float64(e.round))
+}
+
+// localResult carries one client's round output.
+type localResult struct {
+	client int
+	model  *ml.Model
+	loss   float64
+	err    error
+}
+
+// Round performs one full FedAvg round: select K_t, broadcast ω_t, train E
+// local epochs on each selected shard, aggregate per Eq. (2), evaluate.
+func (e *Engine) Round() (RoundRecord, error) {
+	selected := e.selector.Select(e.rng, len(e.shards), e.cfg.ClientsPerRound, e.round)
+	lr := e.currentLR()
+
+	results := make([]localResult, len(selected))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.parallel)
+	for i, c := range selected {
+		wg.Add(1)
+		go func(slot, client int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[slot] = e.trainLocal(client, lr)
+		}(i, c)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return RoundRecord{}, fmt.Errorf("round %d client %d: %w", e.round, r.client, r.err)
+		}
+	}
+
+	// Aggregate (default: ω_{t+1} = (1/K) Σ ω_{k,t}, paper Eq. 2).
+	updates := make([]Update, len(results))
+	for i, r := range results {
+		updates[i] = Update{Client: r.client, Model: r.model, Samples: e.shards[r.client].Len()}
+	}
+	if err := e.agg.Aggregate(e.global, updates); err != nil {
+		return RoundRecord{}, fmt.Errorf("round %d: %w", e.round, err)
+	}
+
+	rec := RoundRecord{
+		Round:        e.round,
+		Selected:     selected,
+		LearningRate: lr,
+		TestAccuracy: math.NaN(),
+		LocalLosses:  make([]float64, len(results)),
+	}
+	for i, r := range results {
+		rec.LocalLosses[i] = r.loss
+	}
+
+	loss, err := e.GlobalLoss()
+	if err != nil {
+		return RoundRecord{}, fmt.Errorf("round %d global loss: %w", e.round, err)
+	}
+	rec.TrainLoss = loss
+
+	if e.test != nil {
+		acc, err := ml.Accuracy(e.global, e.test)
+		if err != nil {
+			return RoundRecord{}, fmt.Errorf("round %d accuracy: %w", e.round, err)
+		}
+		rec.TestAccuracy = acc
+	}
+
+	e.round++
+	e.history = append(e.history, rec)
+	if e.observer != nil {
+		e.observer(rec)
+	}
+	return rec, nil
+}
+
+// trainLocal clones the global model and runs E epochs on one shard.
+func (e *Engine) trainLocal(client int, lr float64) localResult {
+	local := e.global.Clone()
+	sgd, err := ml.NewSGD(ml.SGDConfig{
+		LearningRate: lr,
+		BatchSize:    e.cfg.BatchSize,
+		ProximalMu:   e.cfg.ProximalMu,
+		// Mini-batch order must not depend on goroutine scheduling: derive
+		// the seed from (run seed, client, round).
+		Seed: e.cfg.Seed ^ uint64(client)<<32 ^ uint64(e.round),
+	})
+	if err != nil {
+		return localResult{client: client, err: err}
+	}
+	if e.cfg.ProximalMu > 0 {
+		// The FedProx anchor is this round's immutable global snapshot.
+		sgd.SetProximalRef(e.global)
+	}
+	losses, err := sgd.Train(local, e.shards[client], e.cfg.LocalEpochs)
+	if err != nil {
+		return localResult{client: client, err: err}
+	}
+	return localResult{client: client, model: local, loss: losses[len(losses)-1]}
+}
+
+// GlobalLoss evaluates the global objective F(ω) = Σ_k (n_k/n)·F_k(ω) over
+// all shards.
+func (e *Engine) GlobalLoss() (float64, error) {
+	var weighted float64
+	var total int
+	for i, s := range e.shards {
+		l, err := ml.Loss(e.global, s)
+		if err != nil {
+			return 0, fmt.Errorf("shard %d loss: %w", i, err)
+		}
+		weighted += l * float64(s.Len())
+		total += s.Len()
+	}
+	return weighted / float64(total), nil
+}
+
+// StopCondition inspects the history after each round and reports whether
+// training should stop.
+type StopCondition func(history []RoundRecord) bool
+
+// MaxRounds stops after n rounds.
+func MaxRounds(n int) StopCondition {
+	return func(h []RoundRecord) bool { return len(h) >= n }
+}
+
+// TargetAccuracy stops once the latest test accuracy reaches a.
+func TargetAccuracy(a float64) StopCondition {
+	return func(h []RoundRecord) bool {
+		return len(h) > 0 && h[len(h)-1].TestAccuracy >= a
+	}
+}
+
+// TargetLoss stops once the latest global training loss falls to l.
+func TargetLoss(l float64) StopCondition {
+	return func(h []RoundRecord) bool {
+		return len(h) > 0 && h[len(h)-1].TrainLoss <= l
+	}
+}
+
+// AnyOf stops when any of the given conditions holds.
+func AnyOf(conds ...StopCondition) StopCondition {
+	return func(h []RoundRecord) bool {
+		for _, c := range conds {
+			if c(h) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Run executes rounds until stop fires and returns the records produced by
+// this call. A nil stop is rejected — it would loop forever.
+func (e *Engine) Run(stop StopCondition) ([]RoundRecord, error) {
+	if stop == nil {
+		return nil, fmt.Errorf("nil stop condition: %w", ErrConfig)
+	}
+	start := len(e.history)
+	for !stop(e.history) {
+		if _, err := e.Round(); err != nil {
+			return e.history[start:], err
+		}
+	}
+	return e.history[start:], nil
+}

@@ -1,0 +1,100 @@
+package fl
+
+import (
+	"sort"
+
+	"eefei/internal/mat"
+)
+
+// EnergyAwareSelector prefers the cheapest edge servers each round — the
+// scheduling idea of the paper's reference [12] (energy-aware dynamic edge
+// server scheduling). Cost is proportional to shard size (training energy
+// is linear in n_k, Eq. 5), so the selector picks the K smallest shards,
+// rotating among equal-cost servers across rounds so no server starves.
+type EnergyAwareSelector struct {
+	// Samples holds each server's shard size, indexed by client id.
+	Samples []int
+}
+
+var _ Selector = EnergyAwareSelector{}
+
+// Select implements Selector.
+func (s EnergyAwareSelector) Select(_ *mat.RNG, n, k, round int) []int {
+	type cost struct{ id, samples int }
+	costs := make([]cost, n)
+	for i := 0; i < n; i++ {
+		samples := 0
+		if i < len(s.Samples) {
+			samples = s.Samples[i]
+		}
+		costs[i] = cost{id: i, samples: samples}
+	}
+	sort.Slice(costs, func(a, b int) bool {
+		if costs[a].samples != costs[b].samples {
+			return costs[a].samples < costs[b].samples
+		}
+		// Rotate ties by round so equal-cost servers share the load.
+		return (costs[a].id+round)%n < (costs[b].id+round)%n
+	})
+	out := make([]int, k)
+	for i := range out {
+		out[i] = costs[i].id
+	}
+	return out
+}
+
+// WeightedRandomSelector samples K servers without replacement with
+// probability proportional to shard size — the sampling scheme that makes
+// unweighted FedAvg aggregation unbiased when shards are unequal.
+type WeightedRandomSelector struct {
+	// Samples holds each server's shard size, indexed by client id.
+	Samples []int
+}
+
+var _ Selector = WeightedRandomSelector{}
+
+// Select implements Selector.
+func (s WeightedRandomSelector) Select(rng *mat.RNG, n, k, _ int) []int {
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if i < len(s.Samples) && s.Samples[i] > 0 {
+			w = float64(s.Samples[i])
+		}
+		weights[i] = w
+	}
+	picked := make([]int, 0, k)
+	chosen := make([]bool, n)
+	for len(picked) < k {
+		var total float64
+		for i, w := range weights {
+			if !chosen[i] {
+				total += w
+			}
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := -1
+		for i, w := range weights {
+			if chosen[i] {
+				continue
+			}
+			acc += w
+			if target < acc {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 { // float round-off at the far end
+			for i := n - 1; i >= 0; i-- {
+				if !chosen[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		chosen[pick] = true
+		picked = append(picked, pick)
+	}
+	return picked
+}

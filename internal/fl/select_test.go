@@ -1,0 +1,109 @@
+package fl
+
+import (
+	"testing"
+
+	"eefei/internal/mat"
+)
+
+func TestEnergyAwareSelectorPicksCheapest(t *testing.T) {
+	s := EnergyAwareSelector{Samples: []int{500, 100, 300, 100, 900}}
+	got := s.Select(nil, 5, 2, 0)
+	// The two 100-sample servers (ids 1 and 3) must win.
+	seen := map[int]bool{got[0]: true, got[1]: true}
+	if !seen[1] || !seen[3] {
+		t.Errorf("selected %v, want {1,3}", got)
+	}
+}
+
+func TestEnergyAwareSelectorRotatesTies(t *testing.T) {
+	s := EnergyAwareSelector{Samples: []int{100, 100, 100, 100}}
+	first := s.Select(nil, 4, 2, 0)
+	later := s.Select(nil, 4, 2, 2)
+	same := first[0] == later[0] && first[1] == later[1]
+	if same {
+		t.Errorf("tie rotation inactive: round 0 %v vs round 2 %v", first, later)
+	}
+}
+
+func TestEnergyAwareSelectorValidSet(t *testing.T) {
+	s := EnergyAwareSelector{Samples: []int{5, 4, 3, 2, 1, 6, 7, 8}}
+	for round := 0; round < 5; round++ {
+		got := s.Select(nil, 8, 4, round)
+		seen := make(map[int]bool)
+		for _, id := range got {
+			if id < 0 || id >= 8 || seen[id] {
+				t.Fatalf("round %d: invalid selection %v", round, got)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestWeightedRandomSelectorDistribution(t *testing.T) {
+	// Server 0 holds 10x the data of each other server; over many rounds it
+	// must be selected far more often.
+	s := WeightedRandomSelector{Samples: []int{1000, 100, 100, 100, 100}}
+	rng := mat.NewRNG(1)
+	counts := make([]int, 5)
+	const rounds = 2000
+	for r := 0; r < rounds; r++ {
+		for _, id := range s.Select(rng, 5, 2, r) {
+			counts[id]++
+		}
+	}
+	if counts[0] < counts[1]*2 {
+		t.Errorf("heavy server picked %d times vs %d — weighting inactive", counts[0], counts[1])
+	}
+}
+
+func TestWeightedRandomSelectorNoDuplicates(t *testing.T) {
+	s := WeightedRandomSelector{Samples: []int{1, 2, 3, 4, 5, 6}}
+	rng := mat.NewRNG(2)
+	for r := 0; r < 50; r++ {
+		got := s.Select(rng, 6, 4, r)
+		seen := make(map[int]bool)
+		for _, id := range got {
+			if id < 0 || id >= 6 || seen[id] {
+				t.Fatalf("round %d: invalid selection %v", r, got)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestWeightedRandomSelectorFullSelection(t *testing.T) {
+	s := WeightedRandomSelector{Samples: []int{3, 3, 3}}
+	got := s.Select(mat.NewRNG(3), 3, 3, 0)
+	if len(got) != 3 {
+		t.Fatalf("full selection returned %v", got)
+	}
+}
+
+func TestWeightedRandomSelectorMissingSamplesDefaults(t *testing.T) {
+	// Shorter Samples than n must not panic; absent entries weigh 1.
+	s := WeightedRandomSelector{Samples: []int{5}}
+	got := s.Select(mat.NewRNG(4), 4, 2, 0)
+	if len(got) != 2 {
+		t.Fatalf("selection = %v", got)
+	}
+}
+
+func TestEngineWithEnergyAwareSelector(t *testing.T) {
+	shards, _ := quickShards(t, 10)
+	samples := make([]int, len(shards))
+	for i, s := range shards {
+		samples[i] = s.Len()
+	}
+	e, err := NewEngine(quickConfig(), shards, WithSelector(EnergyAwareSelector{Samples: samples}))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	recs, err := e.Run(MaxRounds(3))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if recs[2].TrainLoss >= recs[0].TrainLoss {
+		t.Error("energy-aware selection must still train")
+	}
+}

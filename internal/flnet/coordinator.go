@@ -1,0 +1,375 @@
+package flnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"eefei/internal/dataset"
+	"eefei/internal/fl"
+	"eefei/internal/mat"
+	"eefei/internal/ml"
+)
+
+// ErrCoordinator is returned (wrapped) for coordinator-side failures.
+var ErrCoordinator = errors.New("flnet: coordinator error")
+
+// CoordinatorConfig configures a networked training run. The federated
+// hyper-parameters reuse fl.Config.
+type CoordinatorConfig struct {
+	// FL carries K, E, learning rate, decay and seed. BatchSize is applied
+	// by the edge servers locally.
+	FL fl.Config
+	// Classes and Features size the global model.
+	Classes, Features int
+	// RoundTimeout bounds one full round trip (send request + local
+	// training + receive reply) per client. Zero selects 2 minutes.
+	RoundTimeout time.Duration
+	// JoinTimeout bounds the wait for the expected number of clients.
+	// Zero selects 1 minute.
+	JoinTimeout time.Duration
+	// MinReplies enables straggler tolerance: a round succeeds as long as
+	// at least this many of the K selected clients reply before the
+	// timeout; the failed clients are dropped from the roster and the
+	// aggregation proceeds over the survivors. Zero requires all K replies
+	// (the paper's synchronous setting).
+	MinReplies int
+	// UploadQuantBits asks clients to quantize their uploaded models
+	// (ml.Quant8 or ml.Quant16; 0 = full precision), cutting the e^U
+	// upload energy roughly 64/bits-fold at a bounded accuracy cost.
+	UploadQuantBits ml.QuantBits
+}
+
+// clientConn is one registered edge server.
+type clientConn struct {
+	id      int
+	conn    net.Conn
+	samples int
+	// dead marks a client that failed a round; it is never selected again.
+	dead bool
+}
+
+// Coordinator is the networked FedAvg coordinator: it owns the global model,
+// accepts edge-server registrations, and drives synchronous rounds.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	ln     net.Listener
+	global *ml.Model
+	test   *dataset.Dataset
+	rng    *mat.RNG
+
+	mu      sync.Mutex
+	clients []*clientConn
+	round   int
+	history []fl.RoundRecord
+}
+
+// NewCoordinator wraps an already-open listener. The caller keeps ownership
+// of the listener's lifetime; Close shuts down both.
+func NewCoordinator(cfg CoordinatorConfig, ln net.Listener, test *dataset.Dataset) (*Coordinator, error) {
+	if cfg.Classes <= 0 || cfg.Features <= 0 {
+		return nil, fmt.Errorf("model shape %dx%d: %w", cfg.Classes, cfg.Features, ErrCoordinator)
+	}
+	if cfg.FL.LocalEpochs < 1 || cfg.FL.ClientsPerRound < 1 || cfg.FL.LearningRate <= 0 {
+		return nil, fmt.Errorf("fl config %+v: %w", cfg.FL, ErrCoordinator)
+	}
+	switch cfg.UploadQuantBits {
+	case 0, ml.Quant8, ml.Quant16:
+	default:
+		return nil, fmt.Errorf("upload quant bits %d: %w", cfg.UploadQuantBits, ErrCoordinator)
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 2 * time.Minute
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = time.Minute
+	}
+	act := cfg.FL.Activation
+	if act == 0 {
+		act = ml.Softmax
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		ln:     ln,
+		global: ml.NewModel(cfg.Classes, cfg.Features, act),
+		test:   test,
+		rng:    mat.NewRNG(cfg.FL.Seed),
+	}, nil
+}
+
+// Addr returns the listener address (useful with ":0" test listeners).
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Global returns the current global model.
+func (c *Coordinator) Global() *ml.Model {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.global
+}
+
+// History returns the completed round records.
+func (c *Coordinator) History() []fl.RoundRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]fl.RoundRecord, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// WaitForClients accepts registrations until n edge servers have joined or
+// the context/join timeout expires.
+func (c *Coordinator) WaitForClients(ctx context.Context, n int) error {
+	if n < c.cfg.FL.ClientsPerRound {
+		return fmt.Errorf("waiting for %d clients but K=%d: %w", n, c.cfg.FL.ClientsPerRound, ErrCoordinator)
+	}
+	deadline := time.Now().Add(c.cfg.JoinTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for {
+		c.mu.Lock()
+		joined := len(c.clients)
+		c.mu.Unlock()
+		if joined >= n {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("wait for clients: %w", err)
+		}
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if dl, ok := c.ln.(deadliner); ok {
+			if err := dl.SetDeadline(deadline); err != nil {
+				return fmt.Errorf("set accept deadline: %w", err)
+			}
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("accept (joined %d of %d): %w", joined, n, err)
+		}
+		if err := c.register(conn); err != nil {
+			// A broken joiner should not kill the whole run; drop it.
+			conn.Close()
+			continue
+		}
+	}
+}
+
+// register performs the Join/Welcome handshake on a fresh connection.
+func (c *Coordinator) register(conn net.Conn) error {
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return fmt.Errorf("handshake deadline: %w", err)
+	}
+	payload, err := expectFrame(conn, MsgJoin)
+	if err != nil {
+		return fmt.Errorf("join: %w", err)
+	}
+	samples, err := decodeUint32(payload)
+	if err != nil {
+		return fmt.Errorf("join body: %w", err)
+	}
+	c.mu.Lock()
+	id := len(c.clients)
+	c.clients = append(c.clients, &clientConn{id: id, conn: conn, samples: int(samples)})
+	c.mu.Unlock()
+	if err := writeFrame(conn, MsgWelcome, encodeUint32(uint32(id))); err != nil {
+		return fmt.Errorf("welcome: %w", err)
+	}
+	return conn.SetDeadline(time.Time{})
+}
+
+// Round runs one synchronous FedAvg round over the network.
+func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
+	c.mu.Lock()
+	alive := make([]int, 0, len(c.clients))
+	for _, cl := range c.clients {
+		if !cl.dead {
+			alive = append(alive, cl.id)
+		}
+	}
+	k := c.cfg.FL.ClientsPerRound
+	round := c.round
+	lr := c.cfg.FL.LearningRate
+	if c.cfg.FL.Decay > 0 {
+		lr *= math.Pow(c.cfg.FL.Decay, float64(round))
+	}
+	var selected []int
+	if k <= len(alive) {
+		for _, idx := range c.rng.Sample(len(alive), k) {
+			selected = append(selected, alive[idx])
+		}
+	}
+	globalSnapshot := c.global.Clone()
+	c.mu.Unlock()
+
+	if selected == nil {
+		return fl.RoundRecord{}, fmt.Errorf("K=%d of %d alive clients: %w", k, len(alive), ErrCoordinator)
+	}
+
+	req := TrainRequest{
+		Round:        round,
+		Epochs:       c.cfg.FL.LocalEpochs,
+		LearningRate: lr,
+		ReplyBits:    c.cfg.UploadQuantBits,
+		Model:        globalSnapshot,
+	}
+	reqPayload, err := encodeTrainRequest(req)
+	if err != nil {
+		return fl.RoundRecord{}, err
+	}
+
+	type outcome struct {
+		slot int
+		rep  TrainReply
+		err  error
+	}
+	results := make([]outcome, len(selected))
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(c.cfg.RoundTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for slot, id := range selected {
+		wg.Add(1)
+		go func(slot, id int) {
+			defer wg.Done()
+			c.mu.Lock()
+			cl := c.clients[id]
+			c.mu.Unlock()
+			results[slot] = outcome{slot: slot}
+			if err := cl.conn.SetDeadline(deadline); err != nil {
+				results[slot].err = fmt.Errorf("client %d deadline: %w", id, err)
+				return
+			}
+			if err := writeFrame(cl.conn, MsgTrainRequest, reqPayload); err != nil {
+				results[slot].err = fmt.Errorf("client %d request: %w", id, err)
+				return
+			}
+			payload, err := expectFrame(cl.conn, MsgTrainReply)
+			if err != nil {
+				results[slot].err = fmt.Errorf("client %d reply: %w", id, err)
+				return
+			}
+			rep, err := decodeTrainReply(payload)
+			if err != nil {
+				results[slot].err = fmt.Errorf("client %d reply body: %w", id, err)
+				return
+			}
+			if rep.Round != round {
+				results[slot].err = fmt.Errorf("client %d replied for round %d, want %d: %w",
+					id, rep.Round, round, ErrProtocol)
+				return
+			}
+			results[slot].rep = rep
+		}(slot, id)
+	}
+	wg.Wait()
+
+	// Straggler tolerance: with MinReplies set, drop failed clients from the
+	// roster and continue on the survivors; otherwise any failure aborts.
+	var ok []outcome
+	var dropped []int
+	for slot, r := range results {
+		if r.err != nil {
+			if c.cfg.MinReplies <= 0 {
+				return fl.RoundRecord{}, fmt.Errorf("round %d: %w", round, r.err)
+			}
+			dropped = append(dropped, selected[slot])
+			continue
+		}
+		ok = append(ok, r)
+	}
+	if len(ok) == 0 || (c.cfg.MinReplies > 0 && len(ok) < c.cfg.MinReplies) {
+		return fl.RoundRecord{}, fmt.Errorf("round %d: %d of %d replies (need %d): %w",
+			round, len(ok), len(selected), c.cfg.MinReplies, ErrCoordinator)
+	}
+	if len(dropped) > 0 {
+		c.mu.Lock()
+		for _, id := range dropped {
+			c.clients[id].dead = true
+			c.clients[id].conn.Close()
+		}
+		c.mu.Unlock()
+	}
+
+	// Aggregate per Eq. (2) over the survivors.
+	agg := ml.NewModel(c.cfg.Classes, c.cfg.Features, globalSnapshot.Act)
+	for _, r := range ok {
+		if err := agg.AddScaled(1/float64(len(ok)), r.rep.Model); err != nil {
+			return fl.RoundRecord{}, fmt.Errorf("round %d aggregate: %w", round, err)
+		}
+	}
+
+	survivors := make([]int, len(ok))
+	for i, r := range ok {
+		survivors[i] = selected[r.slot]
+	}
+	rec := fl.RoundRecord{
+		Round:        round,
+		Selected:     survivors,
+		LearningRate: lr,
+		TestAccuracy: math.NaN(),
+		LocalLosses:  make([]float64, len(ok)),
+	}
+	var lossSum float64
+	for i, r := range ok {
+		rec.LocalLosses[i] = r.rep.Loss
+		lossSum += r.rep.Loss
+	}
+	// Without the raw shards, the coordinator reports the mean of the
+	// clients' final local losses as its training-loss proxy.
+	rec.TrainLoss = lossSum / float64(len(ok))
+	if c.test != nil {
+		acc, err := ml.Accuracy(agg, c.test)
+		if err != nil {
+			return fl.RoundRecord{}, fmt.Errorf("round %d accuracy: %w", round, err)
+		}
+		rec.TestAccuracy = acc
+	}
+
+	c.mu.Lock()
+	c.global = agg
+	c.round++
+	c.history = append(c.history, rec)
+	c.mu.Unlock()
+	return rec, nil
+}
+
+// Run drives rounds until stop fires, then broadcasts shutdown.
+func (c *Coordinator) Run(ctx context.Context, stop fl.StopCondition) ([]fl.RoundRecord, error) {
+	if stop == nil {
+		return nil, fmt.Errorf("nil stop condition: %w", ErrCoordinator)
+	}
+	for !stop(c.History()) {
+		if err := ctx.Err(); err != nil {
+			return c.History(), fmt.Errorf("run: %w", err)
+		}
+		if _, err := c.Round(ctx); err != nil {
+			return c.History(), err
+		}
+	}
+	c.Shutdown()
+	return c.History(), nil
+}
+
+// Shutdown notifies every client and closes all connections plus the
+// listener. Safe to call multiple times.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, cl := range clients {
+		// Best-effort farewell; the close that follows is the real signal.
+		cl.conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if err := writeFrame(cl.conn, MsgShutdown, nil); err != nil {
+			// The client may already be gone — closing below is enough.
+			_ = err
+		}
+		cl.conn.Close()
+	}
+	c.ln.Close()
+}

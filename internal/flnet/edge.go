@@ -1,0 +1,179 @@
+package flnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"eefei/internal/dataset"
+	"eefei/internal/ml"
+)
+
+// ErrEdge is returned (wrapped) for edge-server-side failures.
+var ErrEdge = errors.New("flnet: edge server error")
+
+// EdgeConfig configures one networked edge server.
+type EdgeConfig struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Shard is this server's local dataset.
+	Shard *dataset.Dataset
+	// BatchSize is the local mini-batch size; 0 selects full batch.
+	BatchSize int
+	// DialTimeout bounds the initial connection. Zero selects 10 s.
+	DialTimeout time.Duration
+	// Seed drives local mini-batch shuffling.
+	Seed uint64
+}
+
+// EdgeServer is a connected, registered edge server.
+type EdgeServer struct {
+	cfg  EdgeConfig
+	conn net.Conn
+	id   int
+	// roundsServed counts completed local-training requests.
+	roundsServed int
+}
+
+// Dial connects to the coordinator and performs the Join/Welcome handshake.
+func Dial(cfg EdgeConfig) (*EdgeServer, error) {
+	if cfg.Shard == nil || cfg.Shard.Len() == 0 {
+		return nil, fmt.Errorf("empty shard: %w", ErrEdge)
+	}
+	if err := cfg.Shard.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", cfg.Addr, err)
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("handshake deadline: %w", err)
+	}
+	if err := writeFrame(conn, MsgJoin, encodeUint32(uint32(cfg.Shard.Len()))); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("join: %w", err)
+	}
+	payload, err := expectFrame(conn, MsgWelcome)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("welcome: %w", err)
+	}
+	id, err := decodeUint32(payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("welcome body: %w", err)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("clear deadline: %w", err)
+	}
+	return &EdgeServer{cfg: cfg, conn: conn, id: int(id)}, nil
+}
+
+// ID returns the coordinator-assigned client id.
+func (e *EdgeServer) ID() int { return e.id }
+
+// RoundsServed returns how many training requests this server has completed.
+func (e *EdgeServer) RoundsServed() int { return e.roundsServed }
+
+// Close tears down the connection.
+func (e *EdgeServer) Close() error { return e.conn.Close() }
+
+// Serve processes training requests until the coordinator shuts down, the
+// connection drops, or ctx is cancelled. A clean shutdown (MsgShutdown or
+// connection close after at least one round) returns nil.
+func (e *EdgeServer) Serve(ctx context.Context) error {
+	// Watch ctx in the background: cancelling unblocks the read below.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Force the blocked read to return.
+			e.conn.SetReadDeadline(time.Now())
+		case <-done:
+		}
+	}()
+
+	for {
+		t, payload, err := readFrame(e.conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("serve: %w", ctx.Err())
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				// Coordinator went away; treat as shutdown.
+				return nil
+			}
+			return fmt.Errorf("serve: %w", err)
+		}
+		switch t {
+		case MsgShutdown:
+			return nil
+		case MsgTrainRequest:
+			if err := e.handleTrain(payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unexpected %v: %w", t, ErrProtocol)
+		}
+	}
+}
+
+// handleTrain runs the requested local epochs and replies with the updated
+// model.
+func (e *EdgeServer) handleTrain(payload []byte) error {
+	req, err := decodeTrainRequest(payload)
+	if err != nil {
+		return err
+	}
+	local := req.Model // the decoded copy is ours to mutate
+	sgd, err := ml.NewSGD(ml.SGDConfig{
+		LearningRate: req.LearningRate,
+		BatchSize:    e.cfg.BatchSize,
+		Seed:         e.cfg.Seed ^ uint64(req.Round)<<16,
+	})
+	if err != nil {
+		return fmt.Errorf("round %d sgd: %w", req.Round, err)
+	}
+	losses, err := sgd.Train(local, e.cfg.Shard, req.Epochs)
+	if err != nil {
+		return fmt.Errorf("round %d train: %w", req.Round, err)
+	}
+	rep := TrainReply{
+		Round:   req.Round,
+		Loss:    losses[len(losses)-1],
+		Samples: e.cfg.Shard.Len(),
+		Bits:    req.ReplyBits,
+		Model:   local,
+	}
+	repPayload, err := encodeTrainReply(rep)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(e.conn, MsgTrainReply, repPayload); err != nil {
+		return fmt.Errorf("round %d reply: %w", req.Round, err)
+	}
+	e.roundsServed++
+	return nil
+}
+
+// RunEdgeServer dials, serves until shutdown, and closes — the whole life of
+// one edge-server process, as cmd/fededge uses it.
+func RunEdgeServer(ctx context.Context, cfg EdgeConfig) error {
+	srv, err := Dial(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	return srv.Serve(ctx)
+}

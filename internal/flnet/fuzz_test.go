@@ -1,0 +1,66 @@
+package flnet
+
+import (
+	"bytes"
+	"testing"
+
+	"eefei/internal/ml"
+)
+
+// Fuzzers for every decode path reachable from the network: a malicious or
+// corrupt peer must produce errors, never panics or huge allocations.
+
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = writeFrame(&seed, MsgJoin, encodeUint32(3000))
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 1, byte(MsgShutdown)})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must not panic; errors are expected and fine.
+		_, _, _ = readFrame(bytes.NewReader(data))
+	})
+}
+
+func FuzzDecodeTrainRequest(f *testing.F) {
+	m := ml.NewModel(2, 3, ml.Softmax)
+	good, err := encodeTrainRequest(TrainRequest{Round: 1, Epochs: 2, LearningRate: 0.1, Model: m})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeTrainRequest(data)
+		if err == nil {
+			// A successful decode must yield a usable model.
+			if req.Model == nil || req.Model.Classes() <= 0 || req.Model.Features() <= 0 {
+				t.Fatalf("decode accepted an unusable request: %+v", req)
+			}
+		}
+	})
+}
+
+func FuzzDecodeTrainReply(f *testing.F) {
+	m := ml.NewModel(2, 3, ml.Sigmoid)
+	full, err := encodeTrainReply(TrainReply{Round: 1, Loss: 0.5, Samples: 10, Model: m})
+	if err != nil {
+		f.Fatal(err)
+	}
+	quant, err := encodeTrainReply(TrainReply{Round: 1, Loss: 0.5, Samples: 10, Bits: ml.Quant8, Model: m})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(quant)
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := decodeTrainReply(data)
+		if err == nil {
+			if rep.Model == nil || rep.Model.Classes() <= 0 {
+				t.Fatalf("decode accepted an unusable reply: %+v", rep)
+			}
+		}
+	})
+}

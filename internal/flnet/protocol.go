@@ -1,0 +1,248 @@
+// Package flnet is the networked counterpart of package fl: a coordinator
+// server and edge-server clients speaking a compact length-prefixed binary
+// protocol over TCP. It exists so the system can actually be deployed the
+// way the paper's prototype was — one coordinator laptop, N Raspberry-Pi
+// edge servers on a LAN — rather than only simulated in-process.
+//
+// Wire format: every message is a frame
+//
+//	uint32   big-endian payload length (excluding these 4 bytes)
+//	byte     message type
+//	payload  type-specific binary (little-endian fixed-width fields,
+//	         models in ml's own serialization)
+//
+// The protocol is strictly request/reply per connection, so no concurrent
+// writes occur on a single conn.
+package flnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"eefei/internal/ml"
+)
+
+// MsgType identifies a protocol frame.
+type MsgType byte
+
+const (
+	// MsgJoin is sent by an edge server immediately after dialing:
+	// payload = uint32 sample count of its local shard.
+	MsgJoin MsgType = iota + 1
+	// MsgWelcome is the coordinator's reply to MsgJoin:
+	// payload = uint32 assigned client id.
+	MsgWelcome
+	// MsgTrainRequest asks a client to run local training:
+	// payload = uint32 round, uint32 epochs, float64 learning rate,
+	// serialized global model.
+	MsgTrainRequest
+	// MsgTrainReply returns the locally trained model:
+	// payload = uint32 round, float64 final local loss, uint32 samples,
+	// serialized local model.
+	MsgTrainReply
+	// MsgShutdown tells a client training is over; payload is empty.
+	MsgShutdown
+)
+
+// String implements fmt.Stringer.
+func (m MsgType) String() string {
+	switch m {
+	case MsgJoin:
+		return "join"
+	case MsgWelcome:
+		return "welcome"
+	case MsgTrainRequest:
+		return "train-request"
+	case MsgTrainReply:
+		return "train-reply"
+	case MsgShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(m))
+	}
+}
+
+// ErrProtocol is returned (wrapped) for malformed or unexpected frames.
+var ErrProtocol = errors.New("flnet: protocol error")
+
+// maxFrameBytes caps a frame so a corrupt peer cannot force a huge
+// allocation; 64 MiB comfortably covers any linear model we train.
+const maxFrameBytes = 64 << 20
+
+// writeFrame sends one frame.
+func writeFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > maxFrameBytes {
+		return fmt.Errorf("frame of %d bytes exceeds cap: %w", len(payload), ErrProtocol)
+	}
+	header := make([]byte, 5)
+	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)+1))
+	header[4] = byte(t)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("write %v header: %w", t, err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("write %v payload: %w", t, err)
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (MsgType, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, fmt.Errorf("read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("frame length %d: %w", n, ErrProtocol)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("read frame body: %w", err)
+	}
+	return MsgType(body[0]), body[1:], nil
+}
+
+// expectFrame reads a frame and verifies its type.
+func expectFrame(r io.Reader, want MsgType) ([]byte, error) {
+	got, payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("got %v, want %v: %w", got, want, ErrProtocol)
+	}
+	return payload, nil
+}
+
+// --- message bodies ---------------------------------------------------------
+
+// TrainRequest is the decoded form of MsgTrainRequest.
+type TrainRequest struct {
+	Round        int
+	Epochs       int
+	LearningRate float64
+	// ReplyBits asks the client to quantize its uploaded model to the given
+	// width (0 = full-precision float64). Quantized uploads shrink the
+	// radio payload ~64/bits-fold — a direct e^U energy reduction.
+	ReplyBits ml.QuantBits
+	Model     *ml.Model
+}
+
+func encodeTrainRequest(req TrainRequest) ([]byte, error) {
+	modelBytes, err := req.Model.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("encode request model: %w", err)
+	}
+	buf := make([]byte, 20, 20+len(modelBytes))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(req.Round))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(req.Epochs))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(req.LearningRate))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(req.ReplyBits))
+	return append(buf, modelBytes...), nil
+}
+
+func decodeTrainRequest(payload []byte) (TrainRequest, error) {
+	if len(payload) < 20 {
+		return TrainRequest{}, fmt.Errorf("train request of %d bytes: %w", len(payload), ErrProtocol)
+	}
+	var req TrainRequest
+	req.Round = int(binary.LittleEndian.Uint32(payload[0:4]))
+	req.Epochs = int(binary.LittleEndian.Uint32(payload[4:8]))
+	req.LearningRate = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:16]))
+	req.ReplyBits = ml.QuantBits(binary.LittleEndian.Uint32(payload[16:20]))
+	switch req.ReplyBits {
+	case 0, ml.Quant8, ml.Quant16:
+	default:
+		return TrainRequest{}, fmt.Errorf("reply bits %d: %w", req.ReplyBits, ErrProtocol)
+	}
+	var m ml.Model
+	if err := m.UnmarshalBinary(payload[20:]); err != nil {
+		return TrainRequest{}, fmt.Errorf("decode request model: %w", err)
+	}
+	req.Model = &m
+	return req, nil
+}
+
+// TrainReply is the decoded form of MsgTrainReply.
+type TrainReply struct {
+	Round   int
+	Loss    float64
+	Samples int
+	// Bits records the codec the model travelled in (0 = float64). The
+	// decoded Model is always full precision; quantization error, if any,
+	// was incurred on the wire.
+	Bits ml.QuantBits
+	// WireBytes is the size of the encoded model payload, which upload
+	// energy is proportional to.
+	WireBytes int
+	Model     *ml.Model
+}
+
+func encodeTrainReply(rep TrainReply) ([]byte, error) {
+	var modelBytes []byte
+	var err error
+	switch rep.Bits {
+	case 0:
+		modelBytes, err = rep.Model.MarshalBinary()
+	case ml.Quant8, ml.Quant16:
+		modelBytes, err = ml.QuantizeModel(rep.Model, rep.Bits)
+	default:
+		return nil, fmt.Errorf("reply bits %d: %w", rep.Bits, ErrProtocol)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("encode reply model: %w", err)
+	}
+	buf := make([]byte, 20, 20+len(modelBytes))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(rep.Round))
+	binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(rep.Loss))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(rep.Samples))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(rep.Bits))
+	return append(buf, modelBytes...), nil
+}
+
+func decodeTrainReply(payload []byte) (TrainReply, error) {
+	if len(payload) < 20 {
+		return TrainReply{}, fmt.Errorf("train reply of %d bytes: %w", len(payload), ErrProtocol)
+	}
+	var rep TrainReply
+	rep.Round = int(binary.LittleEndian.Uint32(payload[0:4]))
+	rep.Loss = math.Float64frombits(binary.LittleEndian.Uint64(payload[4:12]))
+	rep.Samples = int(binary.LittleEndian.Uint32(payload[12:16]))
+	rep.Bits = ml.QuantBits(binary.LittleEndian.Uint32(payload[16:20]))
+	rep.WireBytes = len(payload) - 20
+	body := payload[20:]
+	switch rep.Bits {
+	case 0:
+		var m ml.Model
+		if err := m.UnmarshalBinary(body); err != nil {
+			return TrainReply{}, fmt.Errorf("decode reply model: %w", err)
+		}
+		rep.Model = &m
+	case ml.Quant8, ml.Quant16:
+		m, err := ml.DequantizeModel(body)
+		if err != nil {
+			return TrainReply{}, fmt.Errorf("decode quantized reply: %w", err)
+		}
+		rep.Model = m
+	default:
+		return TrainReply{}, fmt.Errorf("reply bits %d: %w", rep.Bits, ErrProtocol)
+	}
+	return rep, nil
+}
+
+func encodeUint32(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, v)
+	return buf
+}
+
+func decodeUint32(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("uint32 body of %d bytes: %w", len(payload), ErrProtocol)
+	}
+	return binary.LittleEndian.Uint32(payload), nil
+}

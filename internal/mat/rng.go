@@ -1,0 +1,118 @@
+package mat
+
+import "math"
+
+// RNG is a small deterministic random source (SplitMix64 for the state walk,
+// xorshift-style output) with the distributions the simulators need. It is
+// not safe for concurrent use; give each goroutine its own RNG, typically by
+// calling Split.
+//
+// We deliberately avoid math/rand so that generated traces and datasets are
+// reproducible byte-for-byte across Go releases (math/rand's Source
+// algorithms are stable, but rand.Rand method behaviour around Float64 and
+// NormFloat64 has shifted historically between rand and rand/v2).
+type RNG struct {
+	state uint64
+	// spare caches the second Gaussian from the Box–Muller pair.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns an RNG seeded with seed. Distinct seeds yield uncorrelated
+// streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Warm up so that small seeds do not produce small first outputs.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Split derives an independent child RNG; the parent advances one step.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mat: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard Gaussian sample (Box–Muller).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.spare = mag * math.Sin(2*math.Pi*v)
+	r.hasSpare = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// NormScaled returns mean + stddev·Norm().
+func (r *RNG) NormScaled(mean, stddev float64) float64 {
+	return mean + stddev*r.Norm()
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in random
+// order. It panics when k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("mat: Sample k out of range")
+	}
+	return r.Perm(n)[:k]
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exponential returns an exponentially distributed sample with the given
+// rate (mean 1/rate). It panics when rate <= 0.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("mat: Exponential with non-positive rate")
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}

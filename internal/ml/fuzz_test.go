@@ -1,0 +1,57 @@
+package ml
+
+import (
+	"testing"
+)
+
+// Fuzzers for the two binary model decoders: corrupt payloads must error,
+// never panic or over-allocate.
+
+func FuzzReadModel(f *testing.F) {
+	m := NewModel(3, 5, Softmax)
+	m.W.Fill(0.5)
+	good, err := m.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("EFM\x01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back Model
+		if err := back.UnmarshalBinary(data); err == nil {
+			if back.Classes() <= 0 || back.Features() <= 0 {
+				t.Fatal("accepted a model with non-positive dims")
+			}
+			if back.ParamCount() > 1<<26+1<<13 {
+				t.Fatal("accepted an over-sized model")
+			}
+		}
+	})
+}
+
+func FuzzDequantizeModel(f *testing.F) {
+	m := NewModel(3, 5, Softmax)
+	m.W.Fill(0.25)
+	for _, bits := range []QuantBits{Quant8, Quant16} {
+		data, err := QuantizeModel(m, bits)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("EFQ\x01short"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := DequantizeModel(data)
+		if err == nil {
+			if back.Classes() <= 0 || back.Features() <= 0 {
+				t.Fatal("accepted a model with non-positive dims")
+			}
+			for _, v := range back.W.RawData() {
+				if v != v { // NaN check without importing math
+					t.Fatal("dequantized NaN weight")
+				}
+			}
+		}
+	})
+}

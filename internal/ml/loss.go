@@ -1,0 +1,132 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"eefei/internal/dataset"
+	"eefei/internal/mat"
+)
+
+// epsLog floors probabilities inside logarithms so a saturated sigmoid or
+// softmax cannot produce -Inf loss.
+const epsLog = 1e-12
+
+// Loss computes the mean loss of the model over d: cross-entropy for the
+// softmax head, summed per-class binary cross-entropy for the sigmoid head.
+// This is the F_k(ω) of the paper's Eq. (1).
+func Loss(m *Model, d *dataset.Dataset) (float64, error) {
+	if d.Dim() != m.Features() {
+		return 0, fmt.Errorf("loss on %d-dim data with %d-dim model: %w", d.Dim(), m.Features(), ErrModelShape)
+	}
+	probs := make([]float64, m.Classes())
+	var total float64
+	for i := 0; i < d.Len(); i++ {
+		if err := m.Probabilities(probs, d.X.Row(i)); err != nil {
+			return 0, err
+		}
+		y := d.Labels[i]
+		switch m.Act {
+		case Sigmoid:
+			for c, p := range probs {
+				if c == y {
+					total -= math.Log(math.Max(p, epsLog))
+				} else {
+					total -= math.Log(math.Max(1-p, epsLog))
+				}
+			}
+		default:
+			total -= math.Log(math.Max(probs[y], epsLog))
+		}
+	}
+	return total / float64(d.Len()), nil
+}
+
+// Gradient accumulates the mean gradient of the loss over the rows of d into
+// grad (a model-shaped accumulator that the caller typically zeroes first),
+// and returns the mean loss computed in the same pass.
+//
+// For both heads the per-sample gradient has the classic linear-model form
+// (p − t)·xᵀ where t is the one-hot target, because the softmax/CE and
+// sigmoid/BCE pairings share that derivative.
+func Gradient(m *Model, d *dataset.Dataset, grad *Model) (float64, error) {
+	if d.Dim() != m.Features() {
+		return 0, fmt.Errorf("gradient on %d-dim data with %d-dim model: %w", d.Dim(), m.Features(), ErrModelShape)
+	}
+	if grad.Classes() != m.Classes() || grad.Features() != m.Features() {
+		return 0, fmt.Errorf("gradient accumulator %dx%d for model %dx%d: %w",
+			grad.Classes(), grad.Features(), m.Classes(), m.Features(), ErrModelShape)
+	}
+	probs := make([]float64, m.Classes())
+	var totalLoss float64
+	invN := 1 / float64(d.Len())
+	for i := 0; i < d.Len(); i++ {
+		x := d.X.Row(i)
+		if err := m.Probabilities(probs, x); err != nil {
+			return 0, err
+		}
+		y := d.Labels[i]
+		switch m.Act {
+		case Sigmoid:
+			for c, p := range probs {
+				if c == y {
+					totalLoss -= math.Log(math.Max(p, epsLog))
+				} else {
+					totalLoss -= math.Log(math.Max(1-p, epsLog))
+				}
+			}
+		default:
+			totalLoss -= math.Log(math.Max(probs[y], epsLog))
+		}
+		for c, p := range probs {
+			delta := p
+			if c == y {
+				delta = p - 1
+			}
+			mat.Axpy(grad.W.Row(c), delta*invN, x)
+			grad.B[c] += delta * invN
+		}
+	}
+	return totalLoss * invN, nil
+}
+
+// GradientNorm returns ‖∇F(ω)‖₂ over d, used when estimating the bound
+// constant σ² (variance of stochastic gradients at the optimum).
+func GradientNorm(m *Model, d *dataset.Dataset) (float64, error) {
+	grad := NewModel(m.Classes(), m.Features(), m.Act)
+	if _, err := Gradient(m, d, grad); err != nil {
+		return 0, err
+	}
+	zero := NewModel(m.Classes(), m.Features(), m.Act)
+	return grad.ParamDistance(zero), nil
+}
+
+// Accuracy returns the fraction of samples in d the model classifies
+// correctly.
+func Accuracy(m *Model, d *dataset.Dataset) (float64, error) {
+	preds, err := m.PredictBatch(d)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
+}
+
+// ConfusionMatrix returns the classes×classes count matrix with true labels
+// on rows and predictions on columns.
+func ConfusionMatrix(m *Model, d *dataset.Dataset) (*mat.Dense, error) {
+	preds, err := m.PredictBatch(d)
+	if err != nil {
+		return nil, err
+	}
+	cm := mat.NewDense(d.Classes, d.Classes)
+	for i, p := range preds {
+		cm.Set(d.Labels[i], p, cm.At(d.Labels[i], p)+1)
+	}
+	return cm, nil
+}

@@ -1,0 +1,321 @@
+// Package ml implements the learning substrate the paper trains: a linear
+// multi-class classifier (multinomial logistic regression with a softmax
+// head, or the paper's Table-II "sigmoid" one-vs-all head), full-batch and
+// mini-batch SGD with multiplicative learning-rate decay, the associated
+// losses and metrics, and deterministic binary (de)serialization of model
+// parameters for the network protocol.
+package ml
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"eefei/internal/dataset"
+	"eefei/internal/mat"
+)
+
+// Activation selects the classifier head.
+type Activation int
+
+const (
+	// Softmax is standard multinomial logistic regression trained with
+	// cross-entropy.
+	Softmax Activation = iota + 1
+	// Sigmoid is the one-vs-all head the paper's Table II lists, trained
+	// with per-class binary cross-entropy.
+	Sigmoid
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Softmax:
+		return "softmax"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// ErrModelShape is returned (wrapped) when model and data dimensions clash.
+var ErrModelShape = errors.New("ml: model/data dimension mismatch")
+
+// Model is a linear classifier: logits = W·x + b with W of shape
+// classes×features.
+type Model struct {
+	// W is the classes×features weight matrix.
+	W *mat.Dense
+	// B is the per-class bias vector.
+	B []float64
+	// Act selects the head used by Predict and the losses.
+	Act Activation
+}
+
+// NewModel returns a zero-initialized linear model. Zero init is the
+// convention for convex logistic regression (no symmetry breaking needed).
+func NewModel(classes, features int, act Activation) *Model {
+	return &Model{
+		W:   mat.NewDense(classes, features),
+		B:   make([]float64, classes),
+		Act: act,
+	}
+}
+
+// Classes returns the number of output classes.
+func (m *Model) Classes() int { return m.W.Rows() }
+
+// Features returns the input dimension.
+func (m *Model) Features() int { return m.W.Cols() }
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	return &Model{W: m.W.Clone(), B: mat.Clone(m.B), Act: m.Act}
+}
+
+// Zero resets all parameters to zero in place.
+func (m *Model) Zero() {
+	m.W.Zero()
+	for i := range m.B {
+		m.B[i] = 0
+	}
+}
+
+// CopyFrom copies parameters from src; shapes must match.
+func (m *Model) CopyFrom(src *Model) error {
+	if err := m.W.CopyFrom(src.W); err != nil {
+		return fmt.Errorf("copy weights: %w", err)
+	}
+	if len(m.B) != len(src.B) {
+		return fmt.Errorf("copy %d biases into %d: %w", len(src.B), len(m.B), ErrModelShape)
+	}
+	copy(m.B, src.B)
+	m.Act = src.Act
+	return nil
+}
+
+// AddScaled adds s·other to the parameters in place.
+func (m *Model) AddScaled(s float64, other *Model) error {
+	if err := m.W.AddScaled(s, other.W); err != nil {
+		return fmt.Errorf("add weights: %w", err)
+	}
+	if len(m.B) != len(other.B) {
+		return fmt.Errorf("add %d biases into %d: %w", len(other.B), len(m.B), ErrModelShape)
+	}
+	mat.Axpy(m.B, s, other.B)
+	return nil
+}
+
+// Scale multiplies all parameters by s in place.
+func (m *Model) Scale(s float64) {
+	m.W.Scale(s)
+	mat.Scale(m.B, s)
+}
+
+// ParamDistance returns the Euclidean distance between the parameter vectors
+// of m and other (‖ω_m − ω_other‖₂), the quantity the convergence bound's
+// A0 term measures.
+func (m *Model) ParamDistance(other *Model) float64 {
+	var ssq float64
+	a, b := m.W.RawData(), other.W.RawData()
+	for i := range a {
+		d := a[i] - b[i]
+		ssq += d * d
+	}
+	for i := range m.B {
+		d := m.B[i] - other.B[i]
+		ssq += d * d
+	}
+	return math.Sqrt(ssq)
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (m *Model) ParamCount() int {
+	return m.W.Rows()*m.W.Cols() + len(m.B)
+}
+
+// Logits computes W·x + b into dst (length classes).
+func (m *Model) Logits(dst, x []float64) error {
+	if err := m.W.MulVec(dst, x); err != nil {
+		return fmt.Errorf("logits: %w", err)
+	}
+	mat.Axpy(dst, 1, m.B)
+	return nil
+}
+
+// Probabilities applies the model head to x, writing class probabilities
+// (softmax) or per-class sigmoid scores into dst.
+func (m *Model) Probabilities(dst, x []float64) error {
+	if err := m.Logits(dst, x); err != nil {
+		return err
+	}
+	switch m.Act {
+	case Sigmoid:
+		for i, z := range dst {
+			dst[i] = sigmoid(z)
+		}
+	default: // Softmax, also the fallback for the zero value
+		softmaxInPlace(dst)
+	}
+	return nil
+}
+
+// Predict returns the argmax class for sample x.
+func (m *Model) Predict(x []float64) (int, error) {
+	scores := make([]float64, m.Classes())
+	if err := m.Logits(scores, x); err != nil {
+		return 0, err
+	}
+	return mat.ArgMax(scores), nil
+}
+
+// PredictBatch classifies every row of d and returns the predicted labels.
+func (m *Model) PredictBatch(d *dataset.Dataset) ([]int, error) {
+	if d.Dim() != m.Features() {
+		return nil, fmt.Errorf("predict %d-dim data with %d-dim model: %w", d.Dim(), m.Features(), ErrModelShape)
+	}
+	out := make([]int, d.Len())
+	scores := make([]float64, m.Classes())
+	for i := 0; i < d.Len(); i++ {
+		if err := m.Logits(scores, d.X.Row(i)); err != nil {
+			return nil, err
+		}
+		out[i] = mat.ArgMax(scores)
+	}
+	return out, nil
+}
+
+// softmaxInPlace converts logits to a probability simplex with the usual
+// max-shift for numerical stability.
+func softmaxInPlace(z []float64) {
+	maxZ := math.Inf(-1)
+	for _, v := range z {
+		if v > maxZ {
+			maxZ = v
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(v - maxZ)
+		z[i] = e
+		sum += e
+	}
+	for i := range z {
+		z[i] /= sum
+	}
+}
+
+func sigmoid(z float64) float64 {
+	// Branch keeps exp's argument non-positive so it cannot overflow.
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// --- serialization ---------------------------------------------------------
+
+// modelMagic guards the wire format. Bump the version byte when the layout
+// changes.
+var modelMagic = [4]byte{'E', 'F', 'M', 1}
+
+// WriteTo serializes the model in a deterministic little-endian binary
+// layout: magic, activation, classes, features, W row-major, B.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(modelMagic); err != nil {
+		return n, fmt.Errorf("write magic: %w", err)
+	}
+	header := []uint32{uint32(m.Act), uint32(m.Classes()), uint32(m.Features())}
+	if err := write(header); err != nil {
+		return n, fmt.Errorf("write header: %w", err)
+	}
+	if err := write(m.W.RawData()); err != nil {
+		return n, fmt.Errorf("write weights: %w", err)
+	}
+	if err := write(m.B); err != nil {
+		return n, fmt.Errorf("write biases: %w", err)
+	}
+	return n, nil
+}
+
+// ReadModel deserializes a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	var magic [4]byte
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("read magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("ml: bad model magic %x", magic)
+	}
+	var header [3]uint32
+	if err := binary.Read(r, binary.LittleEndian, &header); err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	act, classes, features := Activation(header[0]), int(header[1]), int(header[2])
+	const maxParams = 1 << 26 // 512 MiB of float64: cap against corrupt headers
+	// Bound each dimension before multiplying so the product cannot overflow.
+	if classes <= 0 || features <= 0 || classes > maxParams || features > maxParams ||
+		classes*features > maxParams {
+		return nil, fmt.Errorf("ml: implausible model shape %dx%d", classes, features)
+	}
+	m := NewModel(classes, features, act)
+	if err := binary.Read(r, binary.LittleEndian, m.W.RawData()); err != nil {
+		return nil, fmt.Errorf("read weights: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, m.B); err != nil {
+		return nil, fmt.Errorf("read biases: %w", err)
+	}
+	return m, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf byteSliceWriter
+	if _, err := m.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	got, err := ReadModel(byteSliceReader{data: data, pos: new(int)})
+	if err != nil {
+		return err
+	}
+	*m = *got
+	return nil
+}
+
+type byteSliceWriter []byte
+
+func (w *byteSliceWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+type byteSliceReader struct {
+	data []byte
+	pos  *int
+}
+
+func (r byteSliceReader) Read(p []byte) (int, error) {
+	if *r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[*r.pos:])
+	*r.pos += n
+	return n, nil
+}

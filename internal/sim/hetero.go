@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"eefei/internal/energy"
+	"eefei/internal/mat"
+)
+
+// The paper's prototype is homogeneous (20 identical Pi 4Bs). Real edge
+// fleets are not: silicon lottery, thermal throttling and battery state
+// spread both speed and power draw. This file extends the simulator with
+// per-server heterogeneity so the synchronous-round cost of stragglers —
+// every selected server waits for the slowest — can be measured.
+
+// Heterogeneity describes the fleet spread as log-normal-ish multiplicative
+// factors around the nominal device model.
+type Heterogeneity struct {
+	// SpeedSpread is the relative standard deviation of per-server training
+	// speed (0 = homogeneous). A server with factor f takes f× the nominal
+	// training time.
+	SpeedSpread float64
+	// PowerSpread is the relative standard deviation of per-server power
+	// draw across all phases.
+	PowerSpread float64
+	// Seed makes the fleet assignment deterministic.
+	Seed uint64
+}
+
+// Validate checks the spreads.
+func (h Heterogeneity) Validate() error {
+	if h.SpeedSpread < 0 || h.SpeedSpread > 1 {
+		return fmt.Errorf("speed spread %v outside [0,1]: %w", h.SpeedSpread, ErrSim)
+	}
+	if h.PowerSpread < 0 || h.PowerSpread > 1 {
+		return fmt.Errorf("power spread %v outside [0,1]: %w", h.PowerSpread, ErrSim)
+	}
+	return nil
+}
+
+// DeviceFleet holds the per-server device models realized from a nominal
+// model plus heterogeneity.
+type DeviceFleet struct {
+	models []energy.DeviceModel
+}
+
+// NewDeviceFleet draws n per-server device models. Factors are clamped to
+// [0.5, 2] so no draw is degenerate.
+func NewDeviceFleet(nominal energy.DeviceModel, n int, h Heterogeneity) (*DeviceFleet, error) {
+	if err := nominal.Validate(); err != nil {
+		return nil, err
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet of %d devices: %w", n, ErrSim)
+	}
+	rng := mat.NewRNG(h.Seed)
+	fleet := &DeviceFleet{models: make([]energy.DeviceModel, n)}
+	for i := range fleet.models {
+		speed := mat.Clamp(1+rng.NormScaled(0, h.SpeedSpread), 0.5, 2)
+		power := mat.Clamp(1+rng.NormScaled(0, h.PowerSpread), 0.5, 2)
+		dm := nominal
+		dm.Time.TrainPerSample = time.Duration(float64(dm.Time.TrainPerSample) * speed)
+		dm.Time.TrainPerEpoch = time.Duration(float64(dm.Time.TrainPerEpoch) * speed)
+		dm.Power.Waiting *= power
+		dm.Power.Download *= power
+		dm.Power.Train *= power
+		dm.Power.Upload *= power
+		fleet.models[i] = dm
+	}
+	return fleet, nil
+}
+
+// Device returns server i's realized device model.
+func (f *DeviceFleet) Device(i int) energy.DeviceModel {
+	return f.models[i]
+}
+
+// Size returns the fleet size.
+func (f *DeviceFleet) Size() int { return len(f.models) }
+
+// StragglerReport quantifies the synchronous-round penalty of a selection:
+// the energy all faster servers waste idling while the slowest finishes.
+type StragglerReport struct {
+	// RoundDuration is the slowest selected server's round time (which is
+	// the synchronous round's wall-clock length).
+	RoundDuration time.Duration
+	// ActiveJoules is the energy the selected servers spend doing work.
+	ActiveJoules float64
+	// IdleWasteJoules is the extra energy faster servers burn waiting for
+	// the straggler at their waiting-phase power.
+	IdleWasteJoules float64
+}
+
+// Stragglers computes the report for one round: each selected server trains
+// E epochs over its sample count; all wait for the slowest.
+func (f *DeviceFleet) Stragglers(selected []int, epochs int, samples []int) (StragglerReport, error) {
+	if len(selected) == 0 {
+		return StragglerReport{}, fmt.Errorf("empty selection: %w", ErrSim)
+	}
+	var rep StragglerReport
+	durs := make([]time.Duration, len(selected))
+	for i, s := range selected {
+		if s < 0 || s >= len(f.models) {
+			return StragglerReport{}, fmt.Errorf("server %d of %d: %w", s, len(f.models), ErrSim)
+		}
+		n := 0
+		if s < len(samples) {
+			n = samples[s]
+		}
+		durs[i] = f.models[s].Time.RoundDuration(epochs, n)
+		if durs[i] > rep.RoundDuration {
+			rep.RoundDuration = durs[i]
+		}
+	}
+	for i, s := range selected {
+		n := 0
+		if s < len(samples) {
+			n = samples[s]
+		}
+		rep.ActiveJoules += f.models[s].RoundEnergy(epochs, n)
+		idle := rep.RoundDuration - durs[i]
+		rep.IdleWasteJoules += f.models[s].Power.Energy(energy.PhaseWaiting, idle)
+	}
+	return rep, nil
+}

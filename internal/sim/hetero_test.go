@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"eefei/internal/energy"
+)
+
+func TestNewDeviceFleetHomogeneous(t *testing.T) {
+	nominal := energy.DefaultPiDeviceModel()
+	fleet, err := NewDeviceFleet(nominal, 5, Heterogeneity{})
+	if err != nil {
+		t.Fatalf("NewDeviceFleet: %v", err)
+	}
+	if fleet.Size() != 5 {
+		t.Fatalf("size = %d", fleet.Size())
+	}
+	for i := 0; i < 5; i++ {
+		dm := fleet.Device(i)
+		if dm.Power.Train != nominal.Power.Train {
+			t.Errorf("device %d power differs with zero spread", i)
+		}
+		if dm.Time.TrainPerSample != nominal.Time.TrainPerSample {
+			t.Errorf("device %d speed differs with zero spread", i)
+		}
+	}
+}
+
+func TestNewDeviceFleetSpread(t *testing.T) {
+	nominal := energy.DefaultPiDeviceModel()
+	fleet, err := NewDeviceFleet(nominal, 50, Heterogeneity{SpeedSpread: 0.2, PowerSpread: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewDeviceFleet: %v", err)
+	}
+	varied := false
+	for i := 0; i < fleet.Size(); i++ {
+		dm := fleet.Device(i)
+		ratio := float64(dm.Time.TrainPerSample) / float64(nominal.Time.TrainPerSample)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("device %d speed factor %v outside clamp [0.5,2]", i, ratio)
+		}
+		if ratio != 1 {
+			varied = true
+		}
+		if err := dm.Validate(); err != nil {
+			t.Errorf("device %d invalid: %v", i, err)
+		}
+	}
+	if !varied {
+		t.Error("nonzero spread produced an identical fleet")
+	}
+}
+
+func TestNewDeviceFleetDeterministic(t *testing.T) {
+	nominal := energy.DefaultPiDeviceModel()
+	h := Heterogeneity{SpeedSpread: 0.3, Seed: 9}
+	a, err := NewDeviceFleet(nominal, 10, h)
+	if err != nil {
+		t.Fatalf("NewDeviceFleet: %v", err)
+	}
+	b, err := NewDeviceFleet(nominal, 10, h)
+	if err != nil {
+		t.Fatalf("NewDeviceFleet: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if a.Device(i).Time.TrainPerSample != b.Device(i).Time.TrainPerSample {
+			t.Fatal("same seed must realize the same fleet")
+		}
+	}
+}
+
+func TestNewDeviceFleetValidation(t *testing.T) {
+	nominal := energy.DefaultPiDeviceModel()
+	if _, err := NewDeviceFleet(nominal, 0, Heterogeneity{}); !errors.Is(err, ErrSim) {
+		t.Errorf("0 devices = %v, want ErrSim", err)
+	}
+	if _, err := NewDeviceFleet(nominal, 3, Heterogeneity{SpeedSpread: 2}); !errors.Is(err, ErrSim) {
+		t.Errorf("spread 2 = %v, want ErrSim", err)
+	}
+	bad := nominal
+	bad.Power.Train = 0
+	if _, err := NewDeviceFleet(bad, 3, Heterogeneity{}); err == nil {
+		t.Error("invalid nominal model must be rejected")
+	}
+}
+
+func TestStragglersHomogeneousNoWaste(t *testing.T) {
+	fleet, err := NewDeviceFleet(energy.DefaultPiDeviceModel(), 4, Heterogeneity{})
+	if err != nil {
+		t.Fatalf("NewDeviceFleet: %v", err)
+	}
+	samples := []int{100, 100, 100, 100}
+	rep, err := fleet.Stragglers([]int{0, 1, 2, 3}, 10, samples)
+	if err != nil {
+		t.Fatalf("Stragglers: %v", err)
+	}
+	if rep.IdleWasteJoules != 0 {
+		t.Errorf("homogeneous equal shards wasted %v J", rep.IdleWasteJoules)
+	}
+	if rep.ActiveJoules <= 0 || rep.RoundDuration <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestStragglersHeterogeneousWaste(t *testing.T) {
+	fleet, err := NewDeviceFleet(energy.DefaultPiDeviceModel(), 8,
+		Heterogeneity{SpeedSpread: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewDeviceFleet: %v", err)
+	}
+	samples := make([]int, 8)
+	for i := range samples {
+		samples[i] = 2000
+	}
+	rep, err := fleet.Stragglers([]int{0, 1, 2, 3, 4, 5, 6, 7}, 40, samples)
+	if err != nil {
+		t.Fatalf("Stragglers: %v", err)
+	}
+	if rep.IdleWasteJoules <= 0 {
+		t.Error("heterogeneous fleet must waste idle energy on stragglers")
+	}
+	// The slowest device defines the round duration.
+	var slowest float64
+	for i := 0; i < 8; i++ {
+		if d := fleet.Device(i).Time.RoundDuration(40, 2000).Seconds(); d > slowest {
+			slowest = d
+		}
+	}
+	if math.Abs(rep.RoundDuration.Seconds()-slowest) > 1e-9 {
+		t.Errorf("round duration %v != slowest device %v", rep.RoundDuration.Seconds(), slowest)
+	}
+}
+
+func TestStragglersErrors(t *testing.T) {
+	fleet, err := NewDeviceFleet(energy.DefaultPiDeviceModel(), 2, Heterogeneity{})
+	if err != nil {
+		t.Fatalf("NewDeviceFleet: %v", err)
+	}
+	if _, err := fleet.Stragglers(nil, 1, nil); !errors.Is(err, ErrSim) {
+		t.Errorf("empty selection = %v, want ErrSim", err)
+	}
+	if _, err := fleet.Stragglers([]int{5}, 1, nil); !errors.Is(err, ErrSim) {
+		t.Errorf("out-of-range server = %v, want ErrSim", err)
+	}
+}
+
+func TestStragglerWasteGrowsWithSpread(t *testing.T) {
+	samples := make([]int, 10)
+	for i := range samples {
+		samples[i] = 2000
+	}
+	sel := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	waste := func(spread float64) float64 {
+		fleet, err := NewDeviceFleet(energy.DefaultPiDeviceModel(), 10,
+			Heterogeneity{SpeedSpread: spread, Seed: 5})
+		if err != nil {
+			t.Fatalf("NewDeviceFleet: %v", err)
+		}
+		rep, err := fleet.Stragglers(sel, 40, samples)
+		if err != nil {
+			t.Fatalf("Stragglers: %v", err)
+		}
+		return rep.IdleWasteJoules
+	}
+	if w1, w2 := waste(0.1), waste(0.4); w2 <= w1 {
+		t.Errorf("waste at spread 0.4 (%v) not above spread 0.1 (%v)", w2, w1)
+	}
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full verification of the EE-FEI repository: build, vet, tests, examples,
+# experiment regeneration, and one-shot benchmarks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"; echo "$unformatted"; exit 1
+fi
+
+echo "== tests =="
+go test ./...
+
+echo "== examples =="
+go run ./examples/quickstart
+go run ./examples/energy_planner
+go run ./examples/federated_mnist | tail -4
+go run ./examples/networked_fl | tail -3
+go run ./examples/async_fl | tail -3
+
+echo "== experiments (quick scale) =="
+go run ./cmd/experiments
+
+echo "== planner CLI =="
+go run ./cmd/eefei-plan -grid
+
+echo "== benches (single shot) =="
+go test -bench=. -benchmem -benchtime=1x -run='^$' .
+
+echo "ALL VERIFICATIONS PASSED"
