@@ -46,6 +46,14 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "selection seed; must match the edges' data seed")
 		side    = fs.Int("side", 8, "synthetic image side (features = side²)")
 		samples = fs.Int("samples", 2000, "total synthetic samples (must match edges)")
+
+		minReplies   = fs.Int("min-replies", 0, "tolerate client failures: commit a round with at least this many of K replies (0 = require all K)")
+		rejoinGrace  = fs.Duration("rejoin-grace", 0, "let a failed client re-register and retry within a round for this long (0 = drop immediately)")
+		roundTimeout = fs.Duration("round-timeout", 5*time.Minute, "per-round deadline")
+		joinTimeout  = fs.Duration("join-timeout", 5*time.Minute, "fleet registration deadline")
+		retries      = fs.Int("retries", 0, "listen retry attempts if the address is busy (0 = fail fast)")
+		retryBase    = fs.Duration("retry-base", 500*time.Millisecond, "initial listen retry backoff")
+		retryMax     = fs.Duration("retry-max", 5*time.Second, "listen retry backoff cap")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,9 +71,35 @@ func run(args []string) error {
 		return fmt.Errorf("synthesize test set: %w", err)
 	}
 
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return fmt.Errorf("listen %s: %w", *listen, err)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// A busy port (e.g. a previous coordinator still in TIME_WAIT) is worth
+	// retrying with backoff; anything else fails like before. The process
+	// exits non-zero only once the attempt budget is exhausted.
+	policy := flnet.RetryPolicy{
+		MaxAttempts: *retries,
+		BaseDelay:   *retryBase,
+		MaxDelay:    *retryMax,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		var err error
+		ln, err = net.Listen("tcp", *listen)
+		if err == nil {
+			break
+		}
+		if attempt >= *retries {
+			return fmt.Errorf("listen %s (after %d attempts): %w", *listen, attempt+1, err)
+		}
+		fmt.Printf("fedcoord: listen %s failed (%v), retrying…\n", *listen, err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(policy.Backoff(attempt+1, nil)):
+		}
 	}
 	coord, err := flnet.NewCoordinator(flnet.CoordinatorConfig{
 		FL: fl.Config{
@@ -77,16 +111,15 @@ func run(args []string) error {
 		},
 		Classes:      10,
 		Features:     *side * *side,
-		RoundTimeout: 5 * time.Minute,
-		JoinTimeout:  5 * time.Minute,
+		RoundTimeout: *roundTimeout,
+		JoinTimeout:  *joinTimeout,
+		MinReplies:   *minReplies,
+		RejoinGrace:  *rejoinGrace,
 	}, ln, test)
 	if err != nil {
 		return err
 	}
 	defer coord.Shutdown()
-
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
 
 	fmt.Printf("fedcoord: listening on %s, waiting for %d edge servers…\n", coord.Addr(), *servers)
 	if err := coord.WaitForClients(ctx, *servers); err != nil {
@@ -103,12 +136,23 @@ func run(args []string) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if *minReplies > 0 {
+			// Give clients that died in earlier rounds a short window to
+			// reconnect before selecting; a timeout just means the round
+			// runs on the survivors.
+			_ = coord.AwaitRoster(ctx, *servers, 5*time.Second)
+		}
 		rec, err := coord.Round(ctx)
 		if err != nil {
 			return fmt.Errorf("round %d: %w", len(coord.History()), err)
 		}
-		fmt.Printf("round %3d  selected %v  lr %.4f  local-loss %.4f  test-acc %.4f\n",
+		line := fmt.Sprintf("round %3d  selected %v  lr %.4f  local-loss %.4f  test-acc %.4f",
 			rec.Round, rec.Selected, rec.LearningRate, rec.TrainLoss, rec.TestAccuracy)
+		if len(rec.Dropped) > 0 || rec.Rejoins > 0 || rec.Retries > 0 {
+			line += fmt.Sprintf("  dropped %v  rejoins %d  retries %d",
+				rec.Dropped, rec.Rejoins, rec.Retries)
+		}
+		fmt.Println(line)
 	}
 	coord.Shutdown()
 	history := coord.History()

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"eefei/internal/dataset"
 	"eefei/internal/flnet"
@@ -42,6 +43,9 @@ func run(args []string) error {
 		batch       = fs.Int("batch", 0, "local mini-batch size (0 = full batch)")
 		imagesPath  = fs.String("mnist-images", "", "optional real MNIST images IDX file")
 		labelsPath  = fs.String("mnist-labels", "", "optional real MNIST labels IDX file")
+		retries     = fs.Int("retries", 3, "reconnect attempts after a lost coordinator link (0 = fail fast)")
+		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "initial reconnect backoff")
+		retryMax    = fs.Duration("retry-max", 2*time.Second, "reconnect backoff cap")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,21 +78,29 @@ func run(args []string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	fmt.Printf("fededge %d/%d: %d samples, dialing %s\n", *id, *of, shard.Len(), *coordinator)
-	srv, err := flnet.Dial(flnet.EdgeConfig{
+	// The retry policy makes the edge survive coordinator restarts and
+	// transient network failures: lost connections are redialed with capped
+	// exponential backoff and the edge re-registers under its original
+	// client id. The process exits non-zero only once the attempt budget is
+	// exhausted (or on a local training failure).
+	fmt.Printf("fededge %d/%d: %d samples, dialing %s (up to %d reconnect attempts)\n",
+		*id, *of, shard.Len(), *coordinator, *retries)
+	err = flnet.RunEdgeServer(ctx, flnet.EdgeConfig{
 		Addr:      *coordinator,
 		Shard:     shard,
 		BatchSize: *batch,
 		Seed:      *seed + uint64(*id)*65537,
+		Retry: flnet.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryMax,
+			Multiplier:  2,
+			JitterFrac:  0.2,
+		},
 	})
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
-	fmt.Printf("fededge %d/%d: registered as client %d, serving\n", *id, *of, srv.ID())
-	if err := srv.Serve(ctx); err != nil {
-		return err
-	}
-	fmt.Printf("fededge %d/%d: shut down cleanly after %d rounds\n", *id, *of, srv.RoundsServed())
+	fmt.Printf("fededge %d/%d: shut down cleanly\n", *id, *of)
 	return nil
 }

@@ -4,10 +4,19 @@
 // deployment.
 //
 //	go run ./examples/networked_fl
+//
+// With -fault-drop-kb the edge connections are routed through seeded
+// faultnet injectors that sever them mid-stream (exponential lifespans with
+// the given mean, in KiB); edges then reconnect with backoff and re-register
+// under their original ids while the coordinator repairs or tolerates the
+// casualties:
+//
+//	go run ./examples/networked_fl -fault-drop-kb 30 -fault-seed 7
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -16,17 +25,24 @@ import (
 
 	"eefei"
 	"eefei/internal/dataset"
+	"eefei/internal/faultnet"
 	"eefei/internal/fl"
 	"eefei/internal/flnet"
 )
 
 func main() {
+	faultDropKB := flag.Float64("fault-drop-kb", 0,
+		"inject connection drops: mean connection lifespan in KiB (0 = no faults)")
+	faultSeed := flag.Uint64("fault-seed", 7, "fault injection seed")
+	flag.Parse()
+
 	const (
 		servers = 5
 		k       = 3
 		epochs  = 10
 		rounds  = 12
 	)
+	injectFaults := *faultDropKB > 0
 
 	dcfg := eefei.SyntheticConfig{
 		Samples: 1500, Classes: 10, Side: 8, Noise: 0.35, BlobsPerClass: 3, Seed: 1,
@@ -46,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	coord, err := flnet.NewCoordinator(flnet.CoordinatorConfig{
+	cfg := flnet.CoordinatorConfig{
 		FL: fl.Config{
 			ClientsPerRound: k,
 			LocalEpochs:     epochs,
@@ -58,32 +74,62 @@ func main() {
 		Features:     train.Dim(),
 		RoundTimeout: time.Minute,
 		JoinTimeout:  30 * time.Second,
-	}, ln, test)
+	}
+	if injectFaults {
+		// Fault tolerance: commit rounds on a quorum of K-1, and let a
+		// failed client repair the round by rejoining within the grace
+		// window.
+		cfg.MinReplies = k - 1
+		cfg.RejoinGrace = 5 * time.Second
+	}
+	coord, err := flnet.NewCoordinator(cfg, ln, test)
 	if err != nil {
 		log.Fatalf("coordinator: %v", err)
 	}
 	defer coord.Shutdown()
 	fmt.Printf("coordinator listening on %s\n", coord.Addr())
-
-	// Spawn the edge-server fleet.
-	var wg sync.WaitGroup
-	for i := 0; i < servers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			err := flnet.RunEdgeServer(context.Background(), flnet.EdgeConfig{
-				Addr:  coord.Addr().String(),
-				Shard: shards[i],
-				Seed:  uint64(i + 1),
-			})
-			if err != nil {
-				log.Printf("edge %d: %v", i, err)
-			}
-		}(i)
+	if injectFaults {
+		fmt.Printf("injecting drops: mean connection lifespan %.0f KiB, seed %d\n",
+			*faultDropKB, *faultSeed)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+
+	// Spawn the edge-server fleet; with faults enabled each edge dials
+	// through its own injector and retries lost connections. Edges join
+	// one at a time so client ids map to shards (and injector seeds)
+	// identically on every run — that is what makes a same-seed run
+	// replay the same failure sequence.
+	injectors := make([]*faultnet.Injector, servers)
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		ecfg := flnet.EdgeConfig{
+			Addr:  coord.Addr().String(),
+			Shard: shards[i],
+			Seed:  uint64(i + 1),
+		}
+		if injectFaults {
+			injectors[i] = faultnet.New(faultnet.Config{
+				Seed:          *faultSeed + uint64(i)*1000003,
+				DropMeanBytes: *faultDropKB * 1024,
+			})
+			ecfg.Dial = injectors[i].TCPDialer()
+			ecfg.Retry = flnet.DefaultRetryPolicy()
+		}
+		wg.Add(1)
+		go func(i int, ecfg flnet.EdgeConfig) {
+			defer wg.Done()
+			err := flnet.RunEdgeServer(context.Background(), ecfg)
+			if err != nil {
+				log.Printf("edge %d: %v", i, err)
+			}
+		}(i, ecfg)
+		if err := coord.AwaitRoster(ctx, i+1, 30*time.Second); err != nil {
+			log.Fatalf("edge %d never joined: %v", i, err)
+		}
+	}
+
 	if err := coord.WaitForClients(ctx, servers); err != nil {
 		log.Fatalf("fleet never assembled: %v", err)
 	}
@@ -91,12 +137,21 @@ func main() {
 		servers, k, epochs, rounds)
 
 	for r := 0; r < rounds; r++ {
+		if injectFaults {
+			// Give dropped edges a moment to rejoin before selecting.
+			_ = coord.AwaitRoster(ctx, servers, 5*time.Second)
+		}
 		rec, err := coord.Round(ctx)
 		if err != nil {
 			log.Fatalf("round %d: %v", r, err)
 		}
-		fmt.Printf("round %2d  selected %v  local-loss %.4f  test-acc %.4f\n",
+		line := fmt.Sprintf("round %2d  selected %v  local-loss %.4f  test-acc %.4f",
 			rec.Round, rec.Selected, rec.TrainLoss, rec.TestAccuracy)
+		if len(rec.Dropped) > 0 || rec.Rejoins > 0 || rec.Retries > 0 {
+			line += fmt.Sprintf("  dropped %v  rejoins %d  retries %d",
+				rec.Dropped, rec.Rejoins, rec.Retries)
+		}
+		fmt.Println(line)
 	}
 	coord.Shutdown()
 	wg.Wait()
@@ -104,4 +159,11 @@ func main() {
 	history := coord.History()
 	fmt.Printf("done: final accuracy %.4f after %d networked rounds\n",
 		history[len(history)-1].TestAccuracy, len(history))
+	if injectFaults {
+		drops := 0
+		for _, inj := range injectors {
+			drops += inj.Stats().Dropped
+		}
+		fmt.Printf("faults survived: %d injected connection drops\n", drops)
+	}
 }

@@ -1,0 +1,182 @@
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps an existing connection with this injector's next fate. A
+// refused fate yields a connection whose every operation fails immediately
+// (the underlying conn is closed), so callers see a uniform net.Conn.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	f := in.newFate()
+	if f.refuse {
+		c.Close()
+		return &refusedConn{Conn: c, idx: f.idx}
+	}
+	return &faultConn{Conn: c, in: in, fate: f}
+}
+
+// refusedConn fails every operation; only Close and the metadata accessors
+// pass through.
+type refusedConn struct {
+	net.Conn
+	idx int
+}
+
+func (c *refusedConn) err() error {
+	return fmt.Errorf("conn %d refused: %w", c.idx, ErrInjected)
+}
+
+func (c *refusedConn) Read([]byte) (int, error)  { return 0, c.err() }
+func (c *refusedConn) Write([]byte) (int, error) { return 0, c.err() }
+
+// faultConn is a net.Conn whose byte streams carry the faults decided at
+// creation. All fault positions are cumulative byte offsets, so the
+// behaviour is independent of how reads and writes are sliced into calls.
+type faultConn struct {
+	net.Conn
+	in   *Injector
+	fate fate
+
+	mu        sync.Mutex
+	total     int64 // bytes transferred in either direction
+	readTotal int64 // bytes delivered to Read callers
+	dropped   bool
+}
+
+func (c *faultConn) dropErr() error {
+	return fmt.Errorf("conn %d dropped after %d bytes: %w", c.fate.idx, c.total, ErrInjected)
+}
+
+// budget returns how many of want bytes may still flow before the drop
+// threshold, or an error when the connection is already severed.
+func (c *faultConn) budget(want int) (int, error) {
+	if c.dropped {
+		return 0, c.dropErr()
+	}
+	if c.fate.dropAt < 0 {
+		return want, nil
+	}
+	left := c.fate.dropAt - c.total
+	if left <= 0 {
+		c.drop()
+		return 0, c.dropErr()
+	}
+	if int64(want) > left {
+		return int(left), nil
+	}
+	return want, nil
+}
+
+// drop severs the connection; the caller holds c.mu.
+func (c *faultConn) drop() {
+	if !c.dropped {
+		c.dropped = true
+		c.Conn.Close()
+		c.in.countDrop()
+	}
+}
+
+// maybeDelay sleeps outside the lock when this call drew a delay fault.
+func (c *faultConn) maybeDelay(fixed time.Duration) {
+	c.mu.Lock()
+	d := fixed
+	if c.fate.delayRNG != nil && c.fate.delayRNG.Bernoulli(c.fate.delayProb) {
+		d += c.fate.delay
+	}
+	c.mu.Unlock()
+	if d > 0 {
+		c.in.countDelay()
+		time.Sleep(d)
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.maybeDelay(c.fate.readDelay)
+	c.mu.Lock()
+	allowed, err := c.budget(len(p))
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if allowed == 0 { // zero-length caller read
+		return c.Conn.Read(p)
+	}
+	n, err := c.Conn.Read(p[:allowed])
+	if n <= 0 {
+		return n, err
+	}
+	c.mu.Lock()
+	// Corrupt any scheduled offsets that fall inside this chunk.
+	if cs := c.fate.corrupt; cs != nil {
+		corrupted := 0
+		for cs.peek() >= 0 && cs.peek() < c.readTotal+int64(n) {
+			off := cs.peek()
+			mask := cs.take()
+			if off >= c.readTotal { // earlier offsets were skipped bytes
+				p[off-c.readTotal] ^= mask
+				corrupted++
+			}
+		}
+		if corrupted > 0 {
+			c.in.countCorrupt(corrupted)
+		}
+	}
+	c.readTotal += int64(n)
+	c.total += int64(n)
+	if c.fate.dropAt >= 0 && c.total >= c.fate.dropAt {
+		// Deliver this final chunk, then sever: the next call fails.
+		c.drop()
+	}
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.maybeDelay(c.fate.writeDelay)
+	c.mu.Lock()
+	allowed, err := c.budget(len(p))
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	truncated := allowed < len(p)
+	written := 0
+	for written < allowed {
+		chunk := allowed - written
+		if c.in.cfg.WriteChunkBytes > 0 && chunk > c.in.cfg.WriteChunkBytes {
+			chunk = c.in.cfg.WriteChunkBytes
+		}
+		n, err := c.Conn.Write(p[written : written+chunk])
+		written += n
+		if err != nil {
+			c.account(written)
+			return written, err
+		}
+	}
+	c.account(written)
+	if truncated {
+		// The prefix reached the wire; the rest never will — a partial
+		// write followed by a severed connection.
+		c.in.countPartialWrite()
+		c.mu.Lock()
+		c.drop()
+		err := c.dropErr()
+		c.mu.Unlock()
+		return written, err
+	}
+	return written, nil
+}
+
+// account records n written bytes and severs the conn at the threshold.
+func (c *faultConn) account(n int) {
+	c.mu.Lock()
+	c.total += int64(n)
+	if c.fate.dropAt >= 0 && c.total >= c.fate.dropAt {
+		c.drop()
+	}
+	c.mu.Unlock()
+}

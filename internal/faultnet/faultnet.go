@@ -1,0 +1,270 @@
+// Package faultnet provides deterministic, seeded fault injection around
+// net.Conn and net.Listener for testing the resilience of networked
+// components — connection refusal, mid-stream disconnects, partial writes,
+// read/write delays, and byte corruption, all reproducible from a seed.
+//
+// Reproducibility is the design center. Every fault decision is made either
+// once per connection (refusal, disconnect position) or keyed to a position
+// in the connection's byte stream (corruption offsets) — never to the number
+// or size of individual I/O calls. TCP segmentation, io.ReadFull looping,
+// and goroutine scheduling therefore cannot shift where faults land: two
+// runs that push the same application bytes through connections created in
+// the same order see identical faults. Injected delays are the one
+// exception — they perturb timing, not data, so they draw from a dedicated
+// RNG stream that cannot desynchronize the data-affecting decisions.
+//
+// Fault model, per connection:
+//
+//   - refusal: the connection is refused outright (dial error, or an
+//     accepted inbound conn closed before any byte is exchanged)
+//   - mid-stream disconnect: after a configured or exponentially
+//     distributed number of transferred bytes the connection delivers one
+//     final truncated read or write — a partial write on the wire — and
+//     every subsequent operation fails with ErrInjected
+//   - corruption: single received bytes are XOR-flipped at configured or
+//     exponentially spaced offsets of the read stream
+//   - delay: individual Read/Write calls are held for a fixed duration
+//   - write chunking: writes are split into bounded chunks (not a fault by
+//     itself, but it stresses frame-reassembly paths deterministically)
+package faultnet
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"eefei/internal/mat"
+)
+
+// ErrInjected is returned (possibly wrapped) by every operation that fails
+// because of an injected fault, so tests can tell injected failures from
+// real ones.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config describes the fault distribution of an Injector. The zero value
+// injects nothing: wrapped connections behave identically to the originals.
+type Config struct {
+	// Seed drives every random fault decision. The same seed over the same
+	// connection-creation order and byte streams reproduces the same faults.
+	Seed uint64
+
+	// RefuseProb is the probability that a new connection is refused
+	// outright (0 disables refusals).
+	RefuseProb float64
+
+	// DropMeanBytes, when > 0, gives every connection an exponentially
+	// distributed lifespan measured in transferred bytes (reads + writes);
+	// crossing it severs the connection mid-stream, delivering the prefix
+	// of the in-flight operation first.
+	DropMeanBytes float64
+
+	// CorruptMeanBytes, when > 0, XOR-flips single received bytes at
+	// exponentially spaced offsets of the read stream (mean gap = this).
+	CorruptMeanBytes float64
+
+	// DelayProb injects a Delay-long pause before individual Read and
+	// Write calls with the given probability (0 disables).
+	DelayProb float64
+	// Delay is the pause injected by DelayProb faults.
+	Delay time.Duration
+
+	// WriteChunkBytes, when > 0, splits every write into chunks of at most
+	// this many bytes (each forwarded separately to the underlying conn).
+	WriteChunkBytes int
+
+	// Plan pins the exact behaviour of specific connections by creation
+	// index, overriding the probabilistic model above for those indices.
+	Plan map[int]ConnPlan
+}
+
+// ConnPlan is a fully deterministic fault schedule for one connection.
+type ConnPlan struct {
+	// Refuse rejects the connection outright.
+	Refuse bool
+	// DropAfterBytes severs the connection once this many bytes have been
+	// transferred in either direction (0 = never).
+	DropAfterBytes int64
+	// CorruptAtBytes lists read-stream offsets at which the received byte
+	// is inverted (XOR 0xFF).
+	CorruptAtBytes []int64
+	// ReadDelay and WriteDelay pause every Read / Write call.
+	ReadDelay, WriteDelay time.Duration
+}
+
+// Stats counts the faults an Injector has delivered so far.
+type Stats struct {
+	// Conns is the number of connections the injector has seen (including
+	// refused ones).
+	Conns int
+	// Refused counts outright connection refusals.
+	Refused int
+	// Dropped counts mid-stream disconnects.
+	Dropped int
+	// PartialWrites counts writes truncated by a mid-stream disconnect.
+	PartialWrites int
+	// CorruptedBytes counts XOR-flipped bytes delivered to readers.
+	CorruptedBytes int
+	// Delays counts injected Read/Write pauses.
+	Delays int
+}
+
+// Injector creates fault-wrapped connections and listeners. Connections are
+// numbered in creation order; each number selects an independent,
+// seed-derived fate, so an injector used from one goroutine (or whose
+// connection order is otherwise fixed) is fully deterministic.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	next  int
+	stats Stats
+}
+
+// New builds an Injector over the given configuration.
+func New(cfg Config) *Injector {
+	if cfg.Plan != nil {
+		// Defensive copy with sorted corruption offsets so callers cannot
+		// perturb decisions after the fact.
+		plan := make(map[int]ConnPlan, len(cfg.Plan))
+		for i, p := range cfg.Plan {
+			offs := append([]int64(nil), p.CorruptAtBytes...)
+			sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+			p.CorruptAtBytes = offs
+			plan[i] = p
+		}
+		cfg.Plan = plan
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Seed mixes the injector seed with a connection index and a stream tag so
+// each concern of each connection gets an uncorrelated RNG.
+func subSeed(seed uint64, idx int, stream uint64) uint64 {
+	z := seed + uint64(idx+1)*0x9e3779b97f4a7c15 + stream*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0x94d049bb133111eb
+	return z ^ (z >> 27)
+}
+
+// fate decides, at creation time, everything byte-position-keyed about the
+// next connection.
+type fate struct {
+	idx    int
+	refuse bool
+	// dropAt is the cumulative transferred-byte count at which the conn
+	// dies; negative means never.
+	dropAt int64
+	// corrupt yields successive read-stream corruption offsets (nil = none).
+	corrupt *corruptStream
+	// delayRNG drives probabilistic per-call delays (nil = none).
+	delayRNG              *mat.RNG
+	delayProb             float64
+	delay                 time.Duration
+	readDelay, writeDelay time.Duration
+}
+
+// corruptStream enumerates read-stream offsets to corrupt, either from a
+// fixed plan or an exponential-gap process, with the XOR mask for each.
+type corruptStream struct {
+	fixed []int64
+	rng   *mat.RNG
+	mean  float64
+	next  int64 // -1 = exhausted
+}
+
+func (cs *corruptStream) peek() int64 { return cs.next }
+
+// take consumes the current offset and returns its XOR mask, advancing to
+// the next one.
+func (cs *corruptStream) take() byte {
+	var mask byte = 0xFF
+	if cs.rng != nil {
+		mask = byte(cs.rng.Intn(255)) + 1 // 1..255: always changes the byte
+		cs.next += int64(cs.rng.Exponential(1/cs.mean)) + 1
+		return mask
+	}
+	cs.fixed = cs.fixed[1:]
+	if len(cs.fixed) == 0 {
+		cs.next = -1
+	} else {
+		cs.next = cs.fixed[0]
+	}
+	return mask
+}
+
+// newFate assigns the next connection index and draws its fate.
+func (in *Injector) newFate() fate {
+	in.mu.Lock()
+	idx := in.next
+	in.next++
+	in.stats.Conns++
+	in.mu.Unlock()
+
+	f := fate{idx: idx, dropAt: -1}
+	if plan, ok := in.cfg.Plan[idx]; ok {
+		f.refuse = plan.Refuse
+		if plan.DropAfterBytes > 0 {
+			f.dropAt = plan.DropAfterBytes
+		}
+		if len(plan.CorruptAtBytes) > 0 {
+			f.corrupt = &corruptStream{fixed: plan.CorruptAtBytes, next: plan.CorruptAtBytes[0]}
+		}
+		f.readDelay, f.writeDelay = plan.ReadDelay, plan.WriteDelay
+	} else {
+		if in.cfg.RefuseProb > 0 {
+			f.refuse = mat.NewRNG(subSeed(in.cfg.Seed, idx, 1)).Bernoulli(in.cfg.RefuseProb)
+		}
+		if in.cfg.DropMeanBytes > 0 {
+			rng := mat.NewRNG(subSeed(in.cfg.Seed, idx, 2))
+			f.dropAt = int64(rng.Exponential(1/in.cfg.DropMeanBytes)) + 1
+		}
+		if in.cfg.CorruptMeanBytes > 0 {
+			rng := mat.NewRNG(subSeed(in.cfg.Seed, idx, 3))
+			cs := &corruptStream{rng: rng, mean: in.cfg.CorruptMeanBytes}
+			cs.next = int64(rng.Exponential(1/cs.mean)) + 1
+			f.corrupt = cs
+		}
+		if in.cfg.DelayProb > 0 && in.cfg.Delay > 0 {
+			f.delayRNG = mat.NewRNG(subSeed(in.cfg.Seed, idx, 4))
+			f.delayProb = in.cfg.DelayProb
+			f.delay = in.cfg.Delay
+		}
+	}
+	if f.refuse {
+		in.mu.Lock()
+		in.stats.Refused++
+		in.mu.Unlock()
+	}
+	return f
+}
+
+func (in *Injector) countDrop() {
+	in.mu.Lock()
+	in.stats.Dropped++
+	in.mu.Unlock()
+}
+
+func (in *Injector) countPartialWrite() {
+	in.mu.Lock()
+	in.stats.PartialWrites++
+	in.mu.Unlock()
+}
+
+func (in *Injector) countCorrupt(n int) {
+	in.mu.Lock()
+	in.stats.CorruptedBytes += n
+	in.mu.Unlock()
+}
+
+func (in *Injector) countDelay() {
+	in.mu.Lock()
+	in.stats.Delays++
+	in.mu.Unlock()
+}

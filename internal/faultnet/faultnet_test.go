@@ -1,0 +1,372 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a fault-wrapped client side of an in-memory duplex pipe
+// plus the raw server side.
+func pipePair(in *Injector) (wrapped, raw net.Conn) {
+	cli, srv := net.Pipe()
+	return in.Conn(cli), srv
+}
+
+// drain copies everything readable from c into a buffer until EOF/error.
+func drain(c net.Conn, buf *bytes.Buffer, done chan<- struct{}) {
+	io.Copy(buf, c) //nolint:errcheck — the error is the stop signal
+	close(done)
+}
+
+// TestConnFaultModes drives every failure mode through a planned connection
+// so the exact behaviour is assertable byte-for-byte.
+func TestConnFaultModes(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAA}, 100)
+
+	tests := []struct {
+		name string
+		plan ConnPlan
+		// wantDelivered is how many payload bytes the peer must receive.
+		wantDelivered int
+		wantWriteErr  bool
+		// corruptAt marks offsets whose delivered byte must differ.
+		corruptAt []int64
+	}{
+		{name: "clean", plan: ConnPlan{}, wantDelivered: 100},
+		{name: "drop-mid-stream", plan: ConnPlan{DropAfterBytes: 37}, wantDelivered: 37, wantWriteErr: true},
+		{name: "drop-at-boundary", plan: ConnPlan{DropAfterBytes: 100}, wantDelivered: 100},
+		{name: "corrupt-two-bytes", plan: ConnPlan{CorruptAtBytes: []int64{3, 90}}, wantDelivered: 100, corruptAt: []int64{3, 90}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			// The reader side is wrapped for corruption cases (corruption
+			// applies to the read stream); the writer side for drop cases.
+			in := New(Config{Plan: map[int]ConnPlan{0: tc.plan}})
+			cli, srv := net.Pipe()
+			var wrappedWriter, reader net.Conn
+			if len(tc.plan.CorruptAtBytes) > 0 {
+				wrappedWriter, reader = srv, in.Conn(cli)
+			} else {
+				wrappedWriter, reader = in.Conn(cli), srv
+			}
+
+			var got bytes.Buffer
+			done := make(chan struct{})
+			go func() {
+				buf := make([]byte, 16) // small reads: byte-keyed faults must not care
+				for {
+					n, err := reader.Read(buf)
+					got.Write(buf[:n])
+					if err != nil {
+						close(done)
+						return
+					}
+				}
+			}()
+
+			n, err := wrappedWriter.Write(payload)
+			if tc.wantWriteErr {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("write err = %v, want ErrInjected", err)
+				}
+				if n != tc.wantDelivered {
+					t.Errorf("partial write delivered %d bytes, want %d", n, tc.wantDelivered)
+				}
+			} else if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			wrappedWriter.Close()
+			srv.Close()
+			cli.Close()
+			<-done
+
+			if got.Len() != tc.wantDelivered {
+				t.Fatalf("peer received %d bytes, want %d", got.Len(), tc.wantDelivered)
+			}
+			for i, b := range got.Bytes() {
+				want := byte(0xAA)
+				for _, off := range tc.corruptAt {
+					if int64(i) == off {
+						want = 0xAA ^ 0xFF
+					}
+				}
+				if b != want {
+					t.Errorf("byte %d = %#x, want %#x", i, b, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDropIndependentOfChunking verifies the core determinism property: the
+// drop point is a byte position, so slicing the same stream into different
+// write sizes severs the connection after the same number of bytes.
+func TestDropIndependentOfChunking(t *testing.T) {
+	const dropAt = 1000
+	for _, chunk := range []int{1, 7, 64, 999, 5000} {
+		in := New(Config{Plan: map[int]ConnPlan{0: {DropAfterBytes: dropAt}}})
+		wrapped, raw := pipePair(in)
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go drain(raw, &got, done)
+
+		total := 0
+		var err error
+		buf := bytes.Repeat([]byte{1}, chunk)
+		for err == nil {
+			var n int
+			n, err = wrapped.Write(buf)
+			total += n
+		}
+		raw.Close()
+		<-done
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("chunk %d: err = %v, want ErrInjected", chunk, err)
+		}
+		if total != dropAt || got.Len() != dropAt {
+			t.Errorf("chunk %d: wrote %d / delivered %d bytes, want %d",
+				chunk, total, got.Len(), dropAt)
+		}
+	}
+}
+
+// TestProbabilisticDeterminism: two injectors with the same seed must give
+// identical fates to the same connection sequence.
+func TestProbabilisticDeterminism(t *testing.T) {
+	fates := func(seed uint64) []int64 {
+		in := New(Config{Seed: seed, DropMeanBytes: 512, RefuseProb: 0.2})
+		out := make([]int64, 20)
+		for i := range out {
+			f := in.newFate()
+			if f.refuse {
+				out[i] = -2
+			} else {
+				out[i] = f.dropAt
+			}
+		}
+		return out
+	}
+	a, b, c := fates(42), fates(42), fates(43)
+	sameAB, sameAC := true, true
+	for i := range a {
+		sameAB = sameAB && a[i] == b[i]
+		sameAC = sameAC && a[i] == c[i]
+	}
+	if !sameAB {
+		t.Errorf("same seed produced different fates: %v vs %v", a, b)
+	}
+	if sameAC {
+		t.Errorf("different seeds produced identical fates: %v", a)
+	}
+	refusals := 0
+	for _, v := range a {
+		if v == -2 {
+			refusals++
+		}
+	}
+	if refusals == 0 || refusals == len(a) {
+		t.Errorf("RefuseProb=0.2 refused %d of %d conns", refusals, len(a))
+	}
+}
+
+func TestRefusedDialAndConn(t *testing.T) {
+	in := New(Config{Plan: map[int]ConnPlan{0: {Refuse: true}, 1: {Refuse: true}}})
+	if _, err := in.TCPDialer()("127.0.0.1:1", time.Second); !errors.Is(err, ErrInjected) {
+		t.Errorf("refused dial = %v, want ErrInjected", err)
+	}
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	c := in.Conn(cli)
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Errorf("refused conn read = %v, want ErrInjected", err)
+	}
+	if _, err := c.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Errorf("refused conn write = %v, want ErrInjected", err)
+	}
+	st := in.Stats()
+	if st.Refused != 2 || st.Conns != 2 {
+		t.Errorf("stats = %+v, want 2 refused of 2", st)
+	}
+}
+
+func TestListenerRefusesAndWraps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	in := New(Config{Plan: map[int]ConnPlan{0: {Refuse: true}}})
+	fln := in.Listener(ln)
+	defer fln.Close()
+
+	type result struct {
+		refusedEOF bool
+		err        error
+	}
+	results := make(chan result, 2)
+	go func() {
+		// First dial: refused — the client sees an immediate close.
+		c1, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		_, err = c1.Read(make([]byte, 1))
+		results <- result{refusedEOF: errors.Is(err, io.EOF)}
+		c1.Close()
+		// Second dial: accepted and echoed back.
+		c2, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		defer c2.Close()
+		if _, err := c2.Write([]byte("ping")); err != nil {
+			results <- result{err: err}
+			return
+		}
+		buf := make([]byte, 4)
+		_, err = io.ReadFull(c2, buf)
+		results <- result{err: err}
+	}()
+
+	// Accept must skip the refused conn and deliver the second one.
+	conn, err := fln.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	r1 := <-results
+	if r1.err != nil || !r1.refusedEOF {
+		t.Errorf("refused client: %+v, want clean EOF", r1)
+	}
+	if r2 := <-results; r2.err != nil {
+		t.Errorf("accepted client: %v", r2.err)
+	}
+	if st := in.Stats(); st.Refused != 1 {
+		t.Errorf("stats = %+v, want 1 refusal", st)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	in := New(Config{Plan: map[int]ConnPlan{0: {WriteDelay: 30 * time.Millisecond}}})
+	wrapped, raw := pipePair(in)
+	defer raw.Close()
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(raw, &got, done)
+
+	start := time.Now()
+	if _, err := wrapped.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("write returned after %v, want >= ~30ms delay", elapsed)
+	}
+	wrapped.Close()
+	<-done
+	if in.Stats().Delays != 1 {
+		t.Errorf("stats = %+v, want 1 delay", in.Stats())
+	}
+}
+
+func TestWriteChunking(t *testing.T) {
+	// Count underlying writes through a middle conn.
+	cli, srv := net.Pipe()
+	counter := &countingConn{Conn: cli}
+	in := New(Config{WriteChunkBytes: 10})
+	wrapped := in.Conn(counter)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(srv, &got, done)
+
+	if _, err := wrapped.Write(bytes.Repeat([]byte{7}, 95)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	wrapped.Close()
+	<-done
+	if got.Len() != 95 {
+		t.Errorf("delivered %d bytes, want 95", got.Len())
+	}
+	counter.mu.Lock()
+	calls := counter.writes
+	counter.mu.Unlock()
+	if calls != 10 { // ceil(95/10)
+		t.Errorf("underlying writes = %d, want 10", calls)
+	}
+}
+
+type countingConn struct {
+	net.Conn
+	mu     sync.Mutex
+	writes int
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+// TestCorruptionProbabilistic checks seeded corruption both corrupts and is
+// reproducible across injectors.
+func TestCorruptionProbabilistic(t *testing.T) {
+	send := bytes.Repeat([]byte{0x55}, 4096)
+	received := func(seed uint64) []byte {
+		in := New(Config{Seed: seed, CorruptMeanBytes: 256})
+		cli, srv := net.Pipe()
+		wrapped := in.Conn(cli)
+		go func() {
+			srv.Write(send) //nolint:errcheck
+			srv.Close()
+		}()
+		var got bytes.Buffer
+		io.Copy(&got, wrapped) //nolint:errcheck
+		if in.Stats().CorruptedBytes == 0 {
+			t.Fatalf("seed %d: no corruption at mean gap 256 over 4096 bytes", seed)
+		}
+		return got.Bytes()
+	}
+	a, b := received(9), received(9)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed corrupted different positions")
+	}
+	if bytes.Equal(a, send) {
+		t.Error("corruption left the stream untouched")
+	}
+}
+
+// TestZeroConfigIsTransparent: the zero config must behave exactly like the
+// raw connection.
+func TestZeroConfigIsTransparent(t *testing.T) {
+	in := New(Config{})
+	wrapped, raw := pipePair(in)
+	payload := bytes.Repeat([]byte{0x42}, 10000)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(raw, &got, done)
+	if n, err := wrapped.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	wrapped.Close()
+	<-done
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Error("zero-config wrapper altered the stream")
+	}
+	st := in.Stats()
+	if st.Dropped+st.Refused+st.CorruptedBytes+st.Delays+st.PartialWrites != 0 {
+		t.Errorf("zero config injected faults: %+v", st)
+	}
+}

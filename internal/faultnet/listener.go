@@ -1,0 +1,51 @@
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Listener wraps ln so every accepted connection carries injected faults.
+// A refusal fate closes the inbound connection before any byte is exchanged
+// (the peer sees an immediate EOF) and Accept moves on to the next one.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		f := l.in.newFate()
+		if f.refuse {
+			conn.Close()
+			continue
+		}
+		return &faultConn{Conn: conn, in: l.in, fate: f}, nil
+	}
+}
+
+// TCPDialer returns a dial function with the signature flnet.EdgeConfig.Dial
+// expects: refusal fates fail the dial outright with ErrInjected, every
+// other connection is fault-wrapped.
+func (in *Injector) TCPDialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		f := in.newFate()
+		if f.refuse {
+			return nil, fmt.Errorf("dial %s (conn %d) refused: %w", addr, f.idx, ErrInjected)
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: conn, in: in, fate: f}, nil
+	}
+}

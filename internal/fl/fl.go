@@ -128,6 +128,24 @@ type RoundRecord struct {
 	// LocalLosses holds each selected client's final local training loss,
 	// parallel to Selected.
 	LocalLosses []float64
+	// Dropped lists clients that were selected this round but failed to
+	// deliver an update before the round closed (networked runs with fault
+	// tolerance only; nil for in-process training). Their local-training
+	// and partial-upload energy is wasted work that experiments can charge
+	// against the round.
+	Dropped []int
+	// Rejoins counts client re-registrations the coordinator accepted
+	// since the previous completed round (networked runs only). It is
+	// wall-clock telemetry: a reconnect racing a round boundary may be
+	// attributed to either neighbouring round.
+	Rejoins int
+	// Retries counts in-round delivery repairs: a selected client whose
+	// connection failed mid-round re-registered within the coordinator's
+	// rejoin grace window and this round's request was re-sent on the
+	// fresh connection (networked runs with RejoinGrace only). Like
+	// Rejoins it is wall-clock telemetry — whether a failure is repaired
+	// on the first or a later attempt depends on reconnect latency.
+	Retries int
 }
 
 // Observer is notified after every completed round; the energy simulator

@@ -1,0 +1,356 @@
+package flnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"eefei/internal/dataset"
+	"eefei/internal/faultnet"
+	"eefei/internal/fl"
+)
+
+// chaosRetry is tuned for loopback tests: generous attempt budget, tiny
+// delays, so a dropped edge rejoins within a few milliseconds.
+func chaosRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 30,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+}
+
+// edgeExitOK accepts the two legitimate chaos-run exits: a clean MsgShutdown
+// (nil), or retries exhausted because the edge was mid-reconnect when the
+// coordinator shut its listener.
+func edgeExitOK(err error) bool {
+	return err == nil || errors.Is(err, ErrRetriesExhausted)
+}
+
+// runChaosTraining trains a 5-edge cluster to `rounds` completed rounds with
+// every edge connection routed through a seeded faultnet injector that
+// severs connections at exponentially distributed byte positions. Edges are
+// registered sequentially so the id↔shard mapping is identical across runs,
+// and the coordinator's RejoinGrace lets every mid-round casualty repair
+// itself via rejoin + re-sent request, so round outcomes do not depend on
+// how reconnect latency races round boundaries. Failed rounds (quorum
+// missed) are tolerated and retried; only committed rounds enter the
+// history. Returns the history plus the per-edge injector fault counters.
+func runChaosTraining(t *testing.T, seed uint64, rounds int, dropMeanBytes float64) ([]fl.RoundRecord, []faultnet.Stats) {
+	t.Helper()
+	const servers, k = 5, 3
+
+	dcfg := dataset.QuickSyntheticConfig()
+	dcfg.Samples = 500
+	train, test, err := dataset.SynthesizePair(dcfg, dcfg)
+	if err != nil {
+		t.Fatalf("SynthesizePair: %v", err)
+	}
+	shards, err := dataset.IIDPartitioner{Seed: 1}.Partition(train, servers)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		FL: fl.Config{
+			ClientsPerRound: k,
+			LocalEpochs:     5,
+			LearningRate:    0.5,
+			Decay:           0.99,
+			Seed:            1,
+		},
+		Classes:      train.Classes,
+		Features:     train.Dim(),
+		RoundTimeout: 30 * time.Second,
+		JoinTimeout:  10 * time.Second,
+		MinReplies:   2,
+		RejoinGrace:  5 * time.Second,
+	}, ln, test)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Kick the background registration loop before the first edge dials.
+	if err := coord.AwaitRoster(ctx, 0, time.Second); err != nil {
+		t.Fatalf("start accept loop: %v", err)
+	}
+
+	// Sequential registration pins client id i to shard i in every run:
+	// determinism of the round histories depends on it.
+	errs := make([]error, servers)
+	injectors := make([]*faultnet.Injector, servers)
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		inj := faultnet.New(faultnet.Config{
+			Seed:          seed + uint64(i)*1000003,
+			DropMeanBytes: dropMeanBytes,
+		})
+		injectors[i] = inj
+		wg.Add(1)
+		go func(i int, dial func(string, time.Duration) (net.Conn, error)) {
+			defer wg.Done()
+			errs[i] = RunEdgeServer(context.Background(), EdgeConfig{
+				Addr:  coord.Addr().String(),
+				Shard: shards[i],
+				Seed:  uint64(i + 1),
+				Retry: chaosRetry(),
+				Dial:  dial,
+			})
+		}(i, inj.TCPDialer())
+		if err := coord.AwaitRoster(ctx, i+1, 10*time.Second); err != nil {
+			t.Fatalf("edge %d never registered: %v", i, err)
+		}
+	}
+
+	failures := 0
+	for len(coord.History()) < rounds {
+		// Give dropped edges a window to rejoin; a timeout is not fatal —
+		// the round just runs on the survivors.
+		coord.AwaitRoster(ctx, servers, 5*time.Second)
+		if _, err := coord.Round(ctx); err != nil {
+			// Quorum missed: every selected client died this round. The
+			// byte-position fault model makes this deterministic too, so
+			// retrying keeps runs comparable.
+			failures++
+			if failures > rounds*3 {
+				t.Fatalf("too many failed rounds (%d), last: %v", failures, err)
+			}
+		}
+	}
+	coord.Shutdown()
+	wg.Wait()
+	for i, err := range errs {
+		if !edgeExitOK(err) {
+			t.Errorf("edge %d exited with %v", i, err)
+		}
+	}
+	stats := make([]faultnet.Stats, servers)
+	for i, inj := range injectors {
+		stats[i] = inj.Stats()
+	}
+	return coord.History(), stats
+}
+
+// TestChaosTrainingConvergesUnderFaults is the headline resilience test:
+// with more than 10% of per-round client exchanges severed mid-stream,
+// training must still reach the accuracy the fault-free cluster reaches,
+// because every casualty rejoins (and the round repairs itself within the
+// grace window or falls back to the quorum of survivors).
+func TestChaosTrainingConvergesUnderFaults(t *testing.T) {
+	history, stats := runChaosTraining(t, 42, 12, 30_000)
+	last := history[len(history)-1]
+	if last.TestAccuracy < 0.5 {
+		t.Errorf("accuracy under faults = %v after %d rounds, want >= 0.5",
+			last.TestAccuracy, len(history))
+	}
+
+	participations, rejoins, retries := 0, 0, 0
+	for _, rec := range history {
+		participations += len(rec.Selected) + len(rec.Dropped)
+		rejoins += rec.Rejoins
+		retries += rec.Retries
+	}
+	// The injected fault rate is counted at the injectors (byte-position
+	// keyed, so deterministic): severed connections per client-round
+	// participation.
+	drops := 0
+	for _, s := range stats {
+		drops += s.Dropped
+	}
+	rate := float64(drops) / float64(participations)
+	t.Logf("injected drops: %d/%d participations = %.2f, rejoins: %d, in-round retries: %d",
+		drops, participations, rate, rejoins, retries)
+	if rate < 0.10 {
+		t.Errorf("injected drop rate = %.2f, want >= 0.10 (tune DropMeanBytes)", rate)
+	}
+	if rejoins == 0 {
+		t.Error("no rejoins recorded despite injected drops")
+	}
+	if retries == 0 {
+		t.Error("no in-round repairs recorded despite injected drops")
+	}
+}
+
+// TestChaosDeterministicHistories re-runs the identical chaos configuration
+// and demands bit-identical round histories: same selections, same
+// casualties, same losses and accuracies. Rejoins and Retries are excluded
+// — both are wall-clock telemetry (a reconnect racing a round boundary may
+// be counted in either neighbouring round, or repair a round on its first
+// rather than second attempt) and are documented as such.
+func TestChaosDeterministicHistories(t *testing.T) {
+	a, statsA := runChaosTraining(t, 42, 8, 30_000)
+	b, statsB := runChaosTraining(t, 42, 8, 30_000)
+	for i := range statsA {
+		if statsA[i].Dropped != statsB[i].Dropped || statsA[i].Conns != statsB[i].Conns {
+			t.Errorf("edge %d: injector saw %+v vs %+v", i, statsA[i], statsB[i])
+		}
+	}
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ra, rb := a[i], b[i]
+		if ra.Round != rb.Round {
+			t.Errorf("record %d: round %d vs %d", i, ra.Round, rb.Round)
+		}
+		if !equalInts(ra.Selected, rb.Selected) {
+			t.Errorf("round %d: selected %v vs %v", ra.Round, ra.Selected, rb.Selected)
+		}
+		if !equalInts(ra.Dropped, rb.Dropped) {
+			t.Errorf("round %d: dropped %v vs %v", ra.Round, ra.Dropped, rb.Dropped)
+		}
+		if ra.LearningRate != rb.LearningRate {
+			t.Errorf("round %d: lr %v vs %v", ra.Round, ra.LearningRate, rb.LearningRate)
+		}
+		if ra.TrainLoss != rb.TrainLoss {
+			t.Errorf("round %d: train loss %v vs %v", ra.Round, ra.TrainLoss, rb.TrainLoss)
+		}
+		if ra.TestAccuracy != rb.TestAccuracy {
+			t.Errorf("round %d: accuracy %v vs %v", ra.Round, ra.TestAccuracy, rb.TestAccuracy)
+		}
+		if !equalFloats(ra.LocalLosses, rb.LocalLosses) {
+			t.Errorf("round %d: local losses %v vs %v", ra.Round, ra.LocalLosses, rb.LocalLosses)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRejoinRestoresClientAfterMidRoundDrop pins the rejoin mechanics with a
+// planned fault: edge 1's first connection severs at byte 2000 — mid-way
+// through reading round 0's train request — so round 0 commits on edge 0
+// alone and lists edge 1 as dropped; after the automatic rejoin, round 1
+// selects both edges again under the same client id.
+func TestRejoinRestoresClientAfterMidRoundDrop(t *testing.T) {
+	const servers, k = 2, 2
+
+	dcfg := dataset.QuickSyntheticConfig()
+	dcfg.Samples = 200
+	train, test, err := dataset.SynthesizePair(dcfg, dcfg)
+	if err != nil {
+		t.Fatalf("SynthesizePair: %v", err)
+	}
+	shards, err := dataset.IIDPartitioner{Seed: 1}.Partition(train, servers)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		FL: fl.Config{
+			ClientsPerRound: k,
+			LocalEpochs:     2,
+			LearningRate:    0.5,
+			Seed:            1,
+		},
+		Classes:      train.Classes,
+		Features:     train.Dim(),
+		RoundTimeout: 30 * time.Second,
+		JoinTimeout:  10 * time.Second,
+		MinReplies:   1,
+	}, ln, test)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := coord.AwaitRoster(ctx, 0, time.Second); err != nil {
+		t.Fatalf("start accept loop: %v", err)
+	}
+
+	errs := make([]error, servers)
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		cfg := EdgeConfig{
+			Addr:  coord.Addr().String(),
+			Shard: shards[i],
+			Seed:  uint64(i + 1),
+			Retry: chaosRetry(),
+		}
+		if i == 1 {
+			inj := faultnet.New(faultnet.Config{
+				Seed: 7,
+				Plan: map[int]faultnet.ConnPlan{0: {DropAfterBytes: 2000}},
+			})
+			cfg.Dial = inj.TCPDialer()
+		}
+		wg.Add(1)
+		go func(cfg EdgeConfig, i int) {
+			defer wg.Done()
+			errs[i] = RunEdgeServer(context.Background(), cfg)
+		}(cfg, i)
+		if err := coord.AwaitRoster(ctx, i+1, 10*time.Second); err != nil {
+			t.Fatalf("edge %d never registered: %v", i, err)
+		}
+	}
+
+	rec0, err := coord.Round(ctx)
+	if err != nil {
+		t.Fatalf("round 0: %v", err)
+	}
+	if !equalInts(rec0.Selected, []int{0}) || !equalInts(rec0.Dropped, []int{1}) {
+		t.Fatalf("round 0 selected %v dropped %v, want [0] and [1]",
+			rec0.Selected, rec0.Dropped)
+	}
+
+	if err := coord.AwaitRoster(ctx, servers, 10*time.Second); err != nil {
+		t.Fatalf("edge 1 never rejoined: %v", err)
+	}
+	rec1, err := coord.Round(ctx)
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if len(rec1.Selected) != 2 || len(rec1.Dropped) != 0 {
+		t.Fatalf("round 1 selected %v dropped %v, want both edges back",
+			rec1.Selected, rec1.Dropped)
+	}
+	if rec0.Rejoins+rec1.Rejoins < 1 {
+		t.Error("no rejoin recorded across the two rounds")
+	}
+
+	coord.Shutdown()
+	wg.Wait()
+	for i, err := range errs {
+		if !edgeExitOK(err) {
+			t.Errorf("edge %d exited with %v", i, err)
+		}
+	}
+}

@@ -18,6 +18,9 @@ import (
 // ErrCoordinator is returned (wrapped) for coordinator-side failures.
 var ErrCoordinator = errors.New("flnet: coordinator error")
 
+// handshakeTimeout bounds one Join/Rejoin + Welcome exchange.
+const handshakeTimeout = 10 * time.Second
+
 // CoordinatorConfig configures a networked training run. The federated
 // hyper-parameters reuse fl.Config.
 type CoordinatorConfig struct {
@@ -32,29 +35,46 @@ type CoordinatorConfig struct {
 	// JoinTimeout bounds the wait for the expected number of clients.
 	// Zero selects 1 minute.
 	JoinTimeout time.Duration
-	// MinReplies enables straggler tolerance: a round succeeds as long as
-	// at least this many of the K selected clients reply before the
-	// timeout; the failed clients are dropped from the roster and the
-	// aggregation proceeds over the survivors. Zero requires all K replies
-	// (the paper's synchronous setting).
+	// MinReplies enables straggler/fault tolerance: a round succeeds as
+	// long as at least this many of the K selected clients reply before
+	// the timeout; the failed clients are marked disconnected (they may
+	// rejoin later) and the aggregation proceeds over the survivors. Zero
+	// requires all K replies (the paper's synchronous setting).
 	MinReplies int
+	// RejoinGrace, when > 0, lets a round repair itself: a selected client
+	// whose connection fails mid-round is given this long to re-register,
+	// after which the round's request is re-sent on the fresh connection
+	// (repeatedly if needed, within the round timeout). Only when no
+	// rejoin arrives inside the window is the client declared dropped.
+	// This makes round outcomes independent of how reconnect latency
+	// races the round boundary. Zero fails clients immediately.
+	RejoinGrace time.Duration
 	// UploadQuantBits asks clients to quantize their uploaded models
 	// (ml.Quant8 or ml.Quant16; 0 = full precision), cutting the e^U
 	// upload energy roughly 64/bits-fold at a bounded accuracy cost.
 	UploadQuantBits ml.QuantBits
 }
 
-// clientConn is one registered edge server.
+// clientConn is one roster slot. A slot is created by MsgJoin and lives for
+// the whole run; a client that fails mid-round is marked disconnected and
+// its slot is revived in place when the client re-registers with MsgRejoin.
 type clientConn struct {
 	id      int
 	conn    net.Conn
 	samples int
-	// dead marks a client that failed a round; it is never selected again.
-	dead bool
+	// connected marks a slot with a live connection; disconnected slots
+	// are skipped by selection until they rejoin.
+	connected bool
+	// gen counts (re-)registrations of this slot. Round snapshots it so a
+	// failure observed on a stale connection cannot mark a freshly
+	// rejoined client disconnected.
+	gen int
 }
 
 // Coordinator is the networked FedAvg coordinator: it owns the global model,
-// accepts edge-server registrations, and drives synchronous rounds.
+// accepts edge-server registrations (and re-registrations, at any point of
+// the run), and drives synchronous rounds that tolerate mid-round client
+// failures.
 type Coordinator struct {
 	cfg    CoordinatorConfig
 	ln     net.Listener
@@ -62,10 +82,13 @@ type Coordinator struct {
 	test   *dataset.Dataset
 	rng    *mat.RNG
 
-	mu      sync.Mutex
-	clients []*clientConn
-	round   int
-	history []fl.RoundRecord
+	mu        sync.Mutex
+	clients   []*clientConn
+	round     int
+	history   []fl.RoundRecord
+	rejoins   int // re-registrations since the last completed round
+	accepting bool
+	down      bool
 }
 
 // NewCoordinator wraps an already-open listener. The caller keeps ownership
@@ -120,73 +143,217 @@ func (c *Coordinator) History() []fl.RoundRecord {
 	return out
 }
 
-// WaitForClients accepts registrations until n edge servers have joined or
-// the context/join timeout expires.
-func (c *Coordinator) WaitForClients(ctx context.Context, n int) error {
-	if n < c.cfg.FL.ClientsPerRound {
-		return fmt.Errorf("waiting for %d clients but K=%d: %w", n, c.cfg.FL.ClientsPerRound, ErrCoordinator)
+// Connected returns how many roster slots currently hold a live connection.
+func (c *Coordinator) Connected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cl := range c.clients {
+		if cl.connected {
+			n++
+		}
 	}
-	deadline := time.Now().Add(c.cfg.JoinTimeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
+	return n
+}
+
+// ensureAcceptLoop starts the background registration loop once. It runs
+// until the listener closes, handling joins and mid-training rejoins alike.
+func (c *Coordinator) ensureAcceptLoop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.accepting || c.down {
+		return
 	}
+	c.accepting = true
+	go c.acceptLoop()
+}
+
+func (c *Coordinator) acceptLoop() {
 	for {
-		c.mu.Lock()
-		joined := len(c.clients)
-		c.mu.Unlock()
-		if joined >= n {
-			return nil
-		}
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("wait for clients: %w", err)
-		}
-		type deadliner interface{ SetDeadline(time.Time) error }
-		if dl, ok := c.ln.(deadliner); ok {
-			if err := dl.SetDeadline(deadline); err != nil {
-				return fmt.Errorf("set accept deadline: %w", err)
-			}
-		}
 		conn, err := c.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("accept (joined %d of %d): %w", joined, n, err)
+			// Listener closed (Shutdown) or fatally broken: stop.
+			c.mu.Lock()
+			c.accepting = false
+			c.mu.Unlock()
+			return
 		}
-		if err := c.register(conn); err != nil {
-			// A broken joiner should not kill the whole run; drop it.
-			conn.Close()
-			continue
-		}
+		// Handshakes run concurrently so one stalled joiner cannot block
+		// the fleet; each is bounded by handshakeTimeout.
+		go func() {
+			if err := c.register(conn); err != nil {
+				// A broken joiner must not kill the run; drop it.
+				conn.Close()
+			}
+		}()
 	}
 }
 
-// register performs the Join/Welcome handshake on a fresh connection.
+// register performs the Join/Welcome or Rejoin/Welcome handshake on a fresh
+// connection.
 func (c *Coordinator) register(conn net.Conn) error {
-	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
 		return fmt.Errorf("handshake deadline: %w", err)
 	}
-	payload, err := expectFrame(conn, MsgJoin)
+	t, payload, err := readFrame(conn)
 	if err != nil {
-		return fmt.Errorf("join: %w", err)
+		return fmt.Errorf("handshake: %w", err)
 	}
-	samples, err := decodeUint32(payload)
-	if err != nil {
-		return fmt.Errorf("join body: %w", err)
+	var id int
+	switch t {
+	case MsgJoin:
+		samples, err := decodeUint32(payload)
+		if err != nil {
+			return fmt.Errorf("join body: %w", err)
+		}
+		c.mu.Lock()
+		if c.down {
+			c.mu.Unlock()
+			return fmt.Errorf("join after shutdown: %w", ErrCoordinator)
+		}
+		id = len(c.clients)
+		c.clients = append(c.clients, &clientConn{
+			id: id, conn: conn, samples: int(samples), connected: true,
+		})
+		c.mu.Unlock()
+	case MsgRejoin:
+		rid, samples, err := decodeRejoin(payload)
+		if err != nil {
+			return fmt.Errorf("rejoin body: %w", err)
+		}
+		c.mu.Lock()
+		if c.down {
+			c.mu.Unlock()
+			return fmt.Errorf("rejoin after shutdown: %w", ErrCoordinator)
+		}
+		if int(rid) >= len(c.clients) {
+			n := len(c.clients)
+			c.mu.Unlock()
+			return fmt.Errorf("rejoin of unknown client %d of %d: %w", rid, n, ErrProtocol)
+		}
+		cl := c.clients[rid]
+		if cl.conn != nil && cl.conn != conn {
+			cl.conn.Close()
+		}
+		cl.conn = conn
+		cl.samples = int(samples)
+		cl.connected = true
+		cl.gen++
+		c.rejoins++
+		id = int(rid)
+		c.mu.Unlock()
+	default:
+		return fmt.Errorf("handshake got %v: %w", t, ErrProtocol)
 	}
-	c.mu.Lock()
-	id := len(c.clients)
-	c.clients = append(c.clients, &clientConn{id: id, conn: conn, samples: int(samples)})
-	c.mu.Unlock()
 	if err := writeFrame(conn, MsgWelcome, encodeUint32(uint32(id))); err != nil {
+		// The slot exists but its connection is already dead; leave it
+		// disconnected so counts stay truthful. The client retries.
+		c.mu.Lock()
+		if id < len(c.clients) && c.clients[id].conn == conn {
+			c.clients[id].connected = false
+		}
+		c.mu.Unlock()
 		return fmt.Errorf("welcome: %w", err)
 	}
 	return conn.SetDeadline(time.Time{})
 }
 
-// Round runs one synchronous FedAvg round over the network.
+// WaitForClients accepts registrations until n edge servers have joined or
+// the context/join timeout expires. Registration keeps running in the
+// background afterwards, so clients can rejoin mid-training.
+func (c *Coordinator) WaitForClients(ctx context.Context, n int) error {
+	if n < c.cfg.FL.ClientsPerRound {
+		return fmt.Errorf("waiting for %d clients but K=%d: %w", n, c.cfg.FL.ClientsPerRound, ErrCoordinator)
+	}
+	return c.awaitConnected(ctx, n, c.cfg.JoinTimeout, "wait for clients")
+}
+
+// AwaitRoster blocks until n clients are simultaneously connected, the
+// timeout passes, or ctx ends. Callers use it between rounds to give
+// dropped clients a window to reconnect before the next selection; a
+// timeout is not fatal — the next round simply runs on the survivors.
+func (c *Coordinator) AwaitRoster(ctx context.Context, n int, timeout time.Duration) error {
+	return c.awaitConnected(ctx, n, timeout, "await roster")
+}
+
+func (c *Coordinator) awaitConnected(ctx context.Context, n int, timeout time.Duration, what string) error {
+	c.ensureAcceptLoop()
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if c.Connected() >= n {
+			return nil
+		}
+		c.mu.Lock()
+		down := c.down
+		c.mu.Unlock()
+		if down {
+			return fmt.Errorf("%s: coordinator shut down: %w", what, ErrCoordinator)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%s: %w", what, ctx.Err())
+		case <-tick.C:
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s: %d of %d connected at timeout: %w",
+					what, c.Connected(), n, ErrCoordinator)
+			}
+		}
+	}
+}
+
+// awaitRejoin blocks until client id holds a registration newer than gen,
+// the RejoinGrace window (capped by the round deadline) passes, or the
+// coordinator shuts down. With RejoinGrace unset it declines immediately,
+// preserving fail-fast rounds.
+func (c *Coordinator) awaitRejoin(id, gen int, deadline time.Time) (net.Conn, int, bool) {
+	if c.cfg.RejoinGrace <= 0 {
+		return nil, 0, false
+	}
+	grace := time.Now().Add(c.cfg.RejoinGrace)
+	if deadline.Before(grace) {
+		grace = deadline
+	}
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		c.mu.Lock()
+		if c.down || id >= len(c.clients) {
+			c.mu.Unlock()
+			return nil, 0, false
+		}
+		cl := c.clients[id]
+		if cl.connected && cl.gen > gen {
+			conn, g := cl.conn, cl.gen
+			c.mu.Unlock()
+			return conn, g, true
+		}
+		c.mu.Unlock()
+		if time.Now().After(grace) {
+			return nil, 0, false
+		}
+		<-tick.C
+	}
+}
+
+// Round runs one synchronous FedAvg round over the network. With MinReplies
+// set, clients that fail mid-round are dropped from the round (and marked
+// disconnected until they rejoin) while the aggregation proceeds over the
+// quorum of survivors; the round record lists the casualties.
 func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
+	type target struct {
+		id   int
+		gen  int
+		conn net.Conn
+	}
 	c.mu.Lock()
 	alive := make([]int, 0, len(c.clients))
 	for _, cl := range c.clients {
-		if !cl.dead {
+		if cl.connected {
 			alive = append(alive, cl.id)
 		}
 	}
@@ -196,16 +363,17 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	if c.cfg.FL.Decay > 0 {
 		lr *= math.Pow(c.cfg.FL.Decay, float64(round))
 	}
-	var selected []int
+	var targets []target
 	if k <= len(alive) {
 		for _, idx := range c.rng.Sample(len(alive), k) {
-			selected = append(selected, alive[idx])
+			cl := c.clients[alive[idx]]
+			targets = append(targets, target{id: cl.id, gen: cl.gen, conn: cl.conn})
 		}
 	}
 	globalSnapshot := c.global.Clone()
 	c.mu.Unlock()
 
-	if selected == nil {
+	if targets == nil {
 		return fl.RoundRecord{}, fmt.Errorf("K=%d of %d alive clients: %w", k, len(alive), ErrCoordinator)
 	}
 
@@ -222,75 +390,105 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	}
 
 	type outcome struct {
-		slot int
-		rep  TrainReply
-		err  error
+		slot    int
+		rep     TrainReply
+		retries int
+		err     error
 	}
-	results := make([]outcome, len(selected))
+	results := make([]outcome, len(targets))
+	// finalGen[slot] is the registration generation of the last connection
+	// each goroutine actually used, so post-round failure marking cannot
+	// clobber a connection it never touched. Each index is written only by
+	// its own goroutine before wg.Wait.
+	finalGen := make([]int, len(targets))
 	var wg sync.WaitGroup
 	deadline := time.Now().Add(c.cfg.RoundTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	for slot, id := range selected {
+	exchange := func(conn net.Conn, id int) (TrainReply, error) {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return TrainReply{}, fmt.Errorf("client %d deadline: %w", id, err)
+		}
+		if err := writeFrame(conn, MsgTrainRequest, reqPayload); err != nil {
+			return TrainReply{}, fmt.Errorf("client %d request: %w", id, err)
+		}
+		payload, err := expectFrame(conn, MsgTrainReply)
+		if err != nil {
+			return TrainReply{}, fmt.Errorf("client %d reply: %w", id, err)
+		}
+		rep, err := decodeTrainReply(payload)
+		if err != nil {
+			return TrainReply{}, fmt.Errorf("client %d reply body: %w", id, err)
+		}
+		if rep.Round != round {
+			return TrainReply{}, fmt.Errorf("client %d replied for round %d, want %d: %w",
+				id, rep.Round, round, ErrProtocol)
+		}
+		return rep, nil
+	}
+	for slot, tg := range targets {
 		wg.Add(1)
-		go func(slot, id int) {
+		go func(slot int, tg target) {
 			defer wg.Done()
-			c.mu.Lock()
-			cl := c.clients[id]
-			c.mu.Unlock()
-			results[slot] = outcome{slot: slot}
-			if err := cl.conn.SetDeadline(deadline); err != nil {
-				results[slot].err = fmt.Errorf("client %d deadline: %w", id, err)
-				return
+			o := outcome{slot: slot}
+			conn, gen := tg.conn, tg.gen
+			for {
+				rep, err := exchange(conn, tg.id)
+				if err == nil {
+					o.rep = rep
+					break
+				}
+				// In-round repair: if the client re-registers within the
+				// grace window, re-send this round's request on its fresh
+				// connection instead of dropping it.
+				nc, ng, ok := c.awaitRejoin(tg.id, gen, deadline)
+				if !ok {
+					o.err = err
+					break
+				}
+				conn, gen = nc, ng
+				o.retries++
 			}
-			if err := writeFrame(cl.conn, MsgTrainRequest, reqPayload); err != nil {
-				results[slot].err = fmt.Errorf("client %d request: %w", id, err)
-				return
-			}
-			payload, err := expectFrame(cl.conn, MsgTrainReply)
-			if err != nil {
-				results[slot].err = fmt.Errorf("client %d reply: %w", id, err)
-				return
-			}
-			rep, err := decodeTrainReply(payload)
-			if err != nil {
-				results[slot].err = fmt.Errorf("client %d reply body: %w", id, err)
-				return
-			}
-			if rep.Round != round {
-				results[slot].err = fmt.Errorf("client %d replied for round %d, want %d: %w",
-					id, rep.Round, round, ErrProtocol)
-				return
-			}
-			results[slot].rep = rep
-		}(slot, id)
+			finalGen[slot] = gen
+			results[slot] = o
+		}(slot, tg)
 	}
 	wg.Wait()
 
-	// Straggler tolerance: with MinReplies set, drop failed clients from the
-	// roster and continue on the survivors; otherwise any failure aborts.
+	// Fault tolerance: with MinReplies set, drop failed clients from the
+	// round and continue on the survivors; otherwise any failure aborts.
 	var ok []outcome
-	var dropped []int
+	var dropped []int // slot indices
 	for slot, r := range results {
 		if r.err != nil {
 			if c.cfg.MinReplies <= 0 {
 				return fl.RoundRecord{}, fmt.Errorf("round %d: %w", round, r.err)
 			}
-			dropped = append(dropped, selected[slot])
+			dropped = append(dropped, slot)
 			continue
 		}
 		ok = append(ok, r)
 	}
 	if len(ok) == 0 || (c.cfg.MinReplies > 0 && len(ok) < c.cfg.MinReplies) {
 		return fl.RoundRecord{}, fmt.Errorf("round %d: %d of %d replies (need %d): %w",
-			round, len(ok), len(selected), c.cfg.MinReplies, ErrCoordinator)
+			round, len(ok), len(targets), c.cfg.MinReplies, ErrCoordinator)
 	}
 	if len(dropped) > 0 {
 		c.mu.Lock()
-		for _, id := range dropped {
-			c.clients[id].dead = true
-			c.clients[id].conn.Close()
+		for _, slot := range dropped {
+			id := targets[slot].id
+			if id >= len(c.clients) {
+				continue // roster was torn down by Shutdown
+			}
+			cl := c.clients[id]
+			if cl.gen == finalGen[slot] {
+				// Still the connection we failed on: mark it down. A
+				// bumped gen means the client already rejoined — leave
+				// the fresh connection alone.
+				cl.connected = false
+				cl.conn.Close()
+			}
 		}
 		c.mu.Unlock()
 	}
@@ -305,7 +503,7 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 
 	survivors := make([]int, len(ok))
 	for i, r := range ok {
-		survivors[i] = selected[r.slot]
+		survivors[i] = targets[r.slot].id
 	}
 	rec := fl.RoundRecord{
 		Round:        round,
@@ -313,6 +511,15 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		LearningRate: lr,
 		TestAccuracy: math.NaN(),
 		LocalLosses:  make([]float64, len(ok)),
+	}
+	for _, slot := range dropped {
+		rec.Dropped = append(rec.Dropped, targets[slot].id)
+	}
+	for _, r := range ok {
+		rec.Retries += r.retries
+	}
+	for _, slot := range dropped {
+		rec.Retries += results[slot].retries
 	}
 	var lossSum float64
 	for i, r := range ok {
@@ -331,6 +538,8 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	}
 
 	c.mu.Lock()
+	rec.Rejoins = c.rejoins
+	c.rejoins = 0
 	c.global = agg
 	c.round++
 	c.history = append(c.history, rec)
@@ -356,13 +565,19 @@ func (c *Coordinator) Run(ctx context.Context, stop fl.StopCondition) ([]fl.Roun
 }
 
 // Shutdown notifies every client and closes all connections plus the
-// listener. Safe to call multiple times.
+// listener, which also stops the background registration loop. Safe to call
+// multiple times and concurrently with rounds in flight (those rounds fail
+// with connection errors).
 func (c *Coordinator) Shutdown() {
 	c.mu.Lock()
+	c.down = true
 	clients := c.clients
 	c.clients = nil
 	c.mu.Unlock()
 	for _, cl := range clients {
+		if cl.conn == nil {
+			continue
+		}
 		// Best-effort farewell; the close that follows is the real signal.
 		cl.conn.SetDeadline(time.Now().Add(2 * time.Second))
 		if err := writeFrame(cl.conn, MsgShutdown, nil); err != nil {

@@ -4,16 +4,26 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"time"
 
 	"eefei/internal/dataset"
+	"eefei/internal/mat"
 	"eefei/internal/ml"
 )
 
 // ErrEdge is returned (wrapped) for edge-server-side failures.
 var ErrEdge = errors.New("flnet: edge server error")
+
+// ErrConnLost is returned (wrapped) by Serve when the coordinator link
+// fails mid-stream — EOF, an I/O error, or an unsynchronized/corrupt frame
+// — i.e. for every condition a reconnect could repair. A clean MsgShutdown
+// returns nil instead.
+var ErrConnLost = errors.New("flnet: connection lost")
+
+// ErrRetriesExhausted is returned (wrapped) by RunEdgeServer once the retry
+// policy's attempt budget is spent without a usable connection.
+var ErrRetriesExhausted = errors.New("flnet: retries exhausted")
 
 // EdgeConfig configures one networked edge server.
 type EdgeConfig struct {
@@ -23,10 +33,27 @@ type EdgeConfig struct {
 	Shard *dataset.Dataset
 	// BatchSize is the local mini-batch size; 0 selects full batch.
 	BatchSize int
-	// DialTimeout bounds the initial connection. Zero selects 10 s.
+	// DialTimeout bounds each connection attempt. Zero selects 10 s.
 	DialTimeout time.Duration
-	// Seed drives local mini-batch shuffling.
+	// Seed drives local mini-batch shuffling and retry jitter.
 	Seed uint64
+	// Retry enables automatic redial plus re-registration after a
+	// connection failure. The zero value keeps the legacy fail-fast
+	// behaviour: one attempt, and an abrupt coordinator disappearance is
+	// treated as shutdown.
+	Retry RetryPolicy
+	// Dial overrides the transport dialer — fault injection and tests hook
+	// in here. Nil selects net.DialTimeout("tcp", addr, timeout).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (cfg EdgeConfig) dialer() func(string, time.Duration) (net.Conn, error) {
+	if cfg.Dial != nil {
+		return cfg.Dial
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
 }
 
 // EdgeServer is a connected, registered edge server.
@@ -40,6 +67,13 @@ type EdgeServer struct {
 
 // Dial connects to the coordinator and performs the Join/Welcome handshake.
 func Dial(cfg EdgeConfig) (*EdgeServer, error) {
+	return dialAs(cfg, -1)
+}
+
+// dialAs performs one connection attempt. rejoinID < 0 registers fresh
+// (MsgJoin); otherwise the edge re-registers its previous id (MsgRejoin)
+// and the coordinator must echo it back.
+func dialAs(cfg EdgeConfig, rejoinID int) (*EdgeServer, error) {
 	if cfg.Shard == nil || cfg.Shard.Len() == 0 {
 		return nil, fmt.Errorf("empty shard: %w", ErrEdge)
 	}
@@ -50,7 +84,7 @@ func Dial(cfg EdgeConfig) (*EdgeServer, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", cfg.Addr, timeout)
+	conn, err := cfg.dialer()(cfg.Addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", cfg.Addr, err)
 	}
@@ -58,9 +92,14 @@ func Dial(cfg EdgeConfig) (*EdgeServer, error) {
 		conn.Close()
 		return nil, fmt.Errorf("handshake deadline: %w", err)
 	}
-	if err := writeFrame(conn, MsgJoin, encodeUint32(uint32(cfg.Shard.Len()))); err != nil {
+	if rejoinID < 0 {
+		err = writeFrame(conn, MsgJoin, encodeUint32(uint32(cfg.Shard.Len())))
+	} else {
+		err = writeFrame(conn, MsgRejoin, encodeRejoin(uint32(rejoinID), uint32(cfg.Shard.Len())))
+	}
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("join: %w", err)
+		return nil, fmt.Errorf("register: %w", err)
 	}
 	payload, err := expectFrame(conn, MsgWelcome)
 	if err != nil {
@@ -71,6 +110,10 @@ func Dial(cfg EdgeConfig) (*EdgeServer, error) {
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("welcome body: %w", err)
+	}
+	if rejoinID >= 0 && int(id) != rejoinID {
+		conn.Close()
+		return nil, fmt.Errorf("rejoin as %d welcomed as %d: %w", rejoinID, id, ErrProtocol)
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
 		conn.Close()
@@ -89,8 +132,10 @@ func (e *EdgeServer) RoundsServed() int { return e.roundsServed }
 func (e *EdgeServer) Close() error { return e.conn.Close() }
 
 // Serve processes training requests until the coordinator shuts down, the
-// connection drops, or ctx is cancelled. A clean shutdown (MsgShutdown or
-// connection close after at least one round) returns nil.
+// connection drops, or ctx is cancelled. A clean shutdown (MsgShutdown)
+// returns nil; connection failures of any kind — including corrupt or
+// out-of-sync frames — return an error wrapping ErrConnLost so callers can
+// reconnect; cancellation returns the context's error.
 func (e *EdgeServer) Serve(ctx context.Context) error {
 	// Watch ctx in the background: cancelling unblocks the read below.
 	done := make(chan struct{})
@@ -110,31 +155,33 @@ func (e *EdgeServer) Serve(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return fmt.Errorf("serve: %w", ctx.Err())
 			}
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				// Coordinator went away; treat as shutdown.
-				return nil
-			}
-			return fmt.Errorf("serve: %w", err)
+			return fmt.Errorf("serve read: %v: %w", err, ErrConnLost)
 		}
 		switch t {
 		case MsgShutdown:
 			return nil
 		case MsgTrainRequest:
 			if err := e.handleTrain(payload); err != nil {
+				if ctx.Err() != nil {
+					return fmt.Errorf("serve: %w", ctx.Err())
+				}
 				return err
 			}
 		default:
-			return fmt.Errorf("unexpected %v: %w", t, ErrProtocol)
+			// An unexpected type means the stream is out of sync (e.g. a
+			// corrupt length prefix): reconnecting is the only repair.
+			return fmt.Errorf("unexpected %v frame: %w", t, ErrConnLost)
 		}
 	}
 }
 
 // handleTrain runs the requested local epochs and replies with the updated
-// model.
+// model. Wire-level failures wrap ErrConnLost; local training failures are
+// returned as-is (retrying would rerun the same broken computation).
 func (e *EdgeServer) handleTrain(payload []byte) error {
 	req, err := decodeTrainRequest(payload)
 	if err != nil {
-		return err
+		return fmt.Errorf("train request: %v: %w", err, ErrConnLost)
 	}
 	local := req.Model // the decoded copy is ours to mutate
 	sgd, err := ml.NewSGD(ml.SGDConfig{
@@ -161,19 +208,59 @@ func (e *EdgeServer) handleTrain(payload []byte) error {
 		return err
 	}
 	if err := writeFrame(e.conn, MsgTrainReply, repPayload); err != nil {
-		return fmt.Errorf("round %d reply: %w", req.Round, err)
+		return fmt.Errorf("round %d reply: %v: %w", req.Round, err, ErrConnLost)
 	}
 	e.roundsServed++
 	return nil
 }
 
-// RunEdgeServer dials, serves until shutdown, and closes — the whole life of
-// one edge-server process, as cmd/fededge uses it.
+// RunEdgeServer dials, serves, and — when cfg.Retry is enabled — redials
+// with capped exponential backoff and re-registers under its original id
+// after every lost connection: the whole life of one edge-server process,
+// as cmd/fededge uses it. With retries disabled it preserves the legacy
+// single-attempt behaviour, where an abrupt coordinator disappearance after
+// registration counts as a shutdown.
 func RunEdgeServer(ctx context.Context, cfg EdgeConfig) error {
-	srv, err := Dial(cfg)
-	if err != nil {
-		return err
+	// The jitter stream is deliberately independent of the training seeds
+	// derived from cfg.Seed elsewhere.
+	jitter := mat.NewRNG(cfg.Seed ^ 0x7c159e3779b97f4a)
+	id := -1
+	failures := 0
+	for {
+		srv, err := dialAs(cfg, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("connect: %w", ctx.Err())
+			}
+			failures++
+			if failures > cfg.Retry.MaxAttempts {
+				if !cfg.Retry.Enabled() {
+					return err
+				}
+				return fmt.Errorf("connect failed %d times, last: %v: %w",
+					failures, err, ErrRetriesExhausted)
+			}
+			if err := sleepCtx(ctx, cfg.Retry.Backoff(failures, jitter)); err != nil {
+				return err
+			}
+			continue
+		}
+		failures = 0
+		id = srv.ID()
+		err = srv.Serve(ctx)
+		srv.Close()
+		switch {
+		case err == nil:
+			return nil
+		case ctx.Err() != nil:
+			return err
+		case !errors.Is(err, ErrConnLost):
+			return err
+		case !cfg.Retry.Enabled():
+			// Legacy semantics: the coordinator went away without a
+			// farewell — treat as shutdown.
+			return nil
+		}
+		// Connection lost with retries enabled: loop re-registers as id.
 	}
-	defer srv.Close()
-	return srv.Serve(ctx)
 }

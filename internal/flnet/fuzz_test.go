@@ -2,8 +2,12 @@ package flnet
 
 import (
 	"bytes"
+	"net"
 	"testing"
+	"time"
 
+	"eefei/internal/fl"
+	"eefei/internal/mat"
 	"eefei/internal/ml"
 )
 
@@ -60,6 +64,85 @@ func FuzzDecodeTrainReply(f *testing.F) {
 		if err == nil {
 			if rep.Model == nil || rep.Model.Classes() <= 0 {
 				t.Fatalf("decode accepted an unusable reply: %+v", rep)
+			}
+		}
+	})
+}
+
+// fuzzAddr / fuzzConn form a non-blocking net.Conn over an in-memory byte
+// slice: reads drain the slice then return EOF, writes always succeed. The
+// register handshake can therefore never block on it, so every fuzz
+// iteration terminates — a hang would surface as the fuzzer timing out.
+type fuzzAddr struct{}
+
+func (fuzzAddr) Network() string { return "fuzz" }
+func (fuzzAddr) String() string  { return "fuzz" }
+
+type fuzzConn struct{ r *bytes.Reader }
+
+func (c *fuzzConn) Read(p []byte) (int, error)         { return c.r.Read(p) }
+func (c *fuzzConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *fuzzConn) Close() error                       { return nil }
+func (c *fuzzConn) LocalAddr() net.Addr                { return fuzzAddr{} }
+func (c *fuzzConn) RemoteAddr() net.Addr               { return fuzzAddr{} }
+func (c *fuzzConn) SetDeadline(time.Time) error        { return nil }
+func (c *fuzzConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fuzzConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// FuzzRejoinHandshake feeds arbitrary bytes into the coordinator's
+// registration handshake — the frame a reconnecting (or malicious) edge
+// sends first. Malformed joins and re-registrations must produce errors,
+// never panics, and must leave the roster consistent.
+func FuzzRejoinHandshake(f *testing.F) {
+	var join bytes.Buffer
+	_ = writeFrame(&join, MsgJoin, encodeUint32(50))
+	f.Add(join.Bytes())
+	var rejoin bytes.Buffer
+	_ = writeFrame(&rejoin, MsgRejoin, encodeRejoin(0, 50))
+	f.Add(rejoin.Bytes())
+	var unknown bytes.Buffer
+	_ = writeFrame(&unknown, MsgRejoin, encodeRejoin(9999, 50))
+	f.Add(unknown.Bytes())
+	var short bytes.Buffer
+	_ = writeFrame(&short, MsgRejoin, []byte{1, 2})
+	f.Add(short.Bytes())
+	var wrongType bytes.Buffer
+	_ = writeFrame(&wrongType, MsgTrainReply, encodeRejoin(0, 50))
+	f.Add(wrongType.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 42})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A fresh in-package coordinator with one pre-registered client, so
+		// rejoin frames can hit both the known-id and unknown-id paths.
+		c := &Coordinator{
+			cfg: CoordinatorConfig{
+				FL:       fl.Config{ClientsPerRound: 1, LocalEpochs: 1, LearningRate: 0.1},
+				Classes:  2,
+				Features: 3,
+			},
+			rng: mat.NewRNG(1),
+		}
+		c.clients = []*clientConn{{
+			id:        0,
+			conn:      &fuzzConn{r: bytes.NewReader(nil)},
+			samples:   5,
+			connected: true,
+		}}
+
+		_ = c.register(&fuzzConn{r: bytes.NewReader(data)})
+
+		// Roster invariants survive any input: slot 0 still exists under
+		// its id, and at most one new slot was appended with the next id.
+		if len(c.clients) < 1 || len(c.clients) > 2 {
+			t.Fatalf("roster has %d slots after one handshake", len(c.clients))
+		}
+		for i, cl := range c.clients {
+			if cl.id != i {
+				t.Fatalf("slot %d holds id %d", i, cl.id)
+			}
+			if cl.conn == nil {
+				t.Fatalf("slot %d lost its connection", i)
 			}
 		}
 	})

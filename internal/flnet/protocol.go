@@ -45,6 +45,11 @@ const (
 	MsgTrainReply
 	// MsgShutdown tells a client training is over; payload is empty.
 	MsgShutdown
+	// MsgRejoin re-registers a previously welcomed client after a
+	// reconnect: payload = uint32 previously assigned client id, uint32
+	// sample count. The coordinator replies MsgWelcome echoing the same id
+	// and revives the client's roster slot.
+	MsgRejoin
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +65,8 @@ func (m MsgType) String() string {
 		return "train-reply"
 	case MsgShutdown:
 		return "shutdown"
+	case MsgRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(m))
 	}
@@ -245,4 +252,20 @@ func decodeUint32(payload []byte) (uint32, error) {
 		return 0, fmt.Errorf("uint32 body of %d bytes: %w", len(payload), ErrProtocol)
 	}
 	return binary.LittleEndian.Uint32(payload), nil
+}
+
+// encodeRejoin builds the MsgRejoin body: previously assigned id + samples.
+func encodeRejoin(id, samples uint32) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:4], id)
+	binary.LittleEndian.PutUint32(buf[4:8], samples)
+	return buf
+}
+
+// decodeRejoin parses the MsgRejoin body.
+func decodeRejoin(payload []byte) (id, samples uint32, err error) {
+	if len(payload) != 8 {
+		return 0, 0, fmt.Errorf("rejoin body of %d bytes: %w", len(payload), ErrProtocol)
+	}
+	return binary.LittleEndian.Uint32(payload[0:4]), binary.LittleEndian.Uint32(payload[4:8]), nil
 }

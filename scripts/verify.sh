@@ -19,11 +19,15 @@ fi
 echo "== tests =="
 go test ./...
 
+echo "== tests (race detector) =="
+go test -race ./...
+
 echo "== examples =="
 go run ./examples/quickstart
 go run ./examples/energy_planner
 go run ./examples/federated_mnist | tail -4
 go run ./examples/networked_fl | tail -3
+go run ./examples/networked_fl -fault-drop-kb 30 | tail -3
 go run ./examples/async_fl | tail -3
 
 echo "== experiments (quick scale) =="
