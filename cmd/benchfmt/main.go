@@ -1,0 +1,148 @@
+// Command benchfmt converts the text output of `go test -bench -benchmem`
+// (read from stdin) into the repo's BENCH_<date>.json artifact: one record
+// per benchmark with ns/op, B/op, and allocs/op, tagged with the package it
+// came from and the host metadata go test printed.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchfmt -date 2026-08-06
+//
+// The tool is line-oriented and tolerant: non-benchmark lines (test chatter,
+// PASS/ok footers) are skipped, so it can be fed the raw stream from several
+// packages in one run. scripts/bench.sh is the canonical driver.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Package is the import path the benchmark ran in (from the "pkg:"
+	// header go test emits before each package's results).
+	Package string `json:"package"`
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when the name had none).
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when -benchmem was not in effect.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Artifact is the BENCH_<date>.json document.
+type Artifact struct {
+	Date       string      `json:"date"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", "", "date stamp for the artifact (default: today, YYYY-MM-DD)")
+	flag.Parse()
+	if *date == "" {
+		*date = time.Now().Format("2006-01-02")
+	}
+
+	art, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+	art.Date = *date
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test -bench output line by line. Header lines (goos:,
+// goarch:, pkg:, cpu:) update the current context; Benchmark* lines become
+// records; everything else is ignored.
+func parse(sc *bufio.Scanner) (*Artifact, error) {
+	art := &Artifact{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			art.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			art.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			art.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue // e.g. a bare "BenchmarkFoo" name printed before results
+			}
+			b.Package = pkg
+			art.Benchmarks = append(art.Benchmarks, b)
+		}
+	}
+	return art, sc.Err()
+}
+
+// parseBenchLine parses a single result line such as
+//
+//	BenchmarkRoundTable2-2   5   49550912 ns/op   20470 B/op   92 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	// A valid line is "Name iters value ns/op [value B/op value allocs/op]".
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	b := Benchmark{BytesPerOp: -1, AllocsPerOp: -1, Procs: 1}
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Benchmark{}, false
+			}
+			b.NsPerOp = ns
+		case "B/op":
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				b.BytesPerOp = n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				b.AllocsPerOp = n
+			}
+		}
+	}
+	return b, true
+}

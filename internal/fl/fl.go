@@ -12,6 +12,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"eefei/internal/dataset"
 	"eefei/internal/mat"
@@ -153,18 +154,45 @@ type RoundRecord struct {
 type Observer func(RoundRecord)
 
 // Engine runs FedAvg over in-memory shards.
+//
+// The per-round hot path is allocation-free after the first round: local
+// training runs on a bounded worker pool whose per-slot scratch models and
+// per-worker optimizers (each owning its gradient accumulator, probability
+// scratch, shuffle buffer, and RNG stream) are reused round over round, the
+// aggregate lands in a scratch model that is committed only when the whole
+// round — including evaluation — succeeds, and global loss / test accuracy
+// are computed by a shard-parallel map-reduce over per-worker evaluators.
+// See DESIGN.md §7 for the scratch-ownership rules.
 type Engine struct {
-	cfg      Config
-	shards   []*dataset.Dataset
-	global   *ml.Model
-	test     *dataset.Dataset
-	selector Selector
-	agg      Aggregator
-	observer Observer
-	rng      *mat.RNG
-	parallel int
-	round    int
-	history  []RoundRecord
+	cfg          Config
+	shards       []*dataset.Dataset
+	totalSamples int
+	global       *ml.Model
+	test         *dataset.Dataset
+	selector     Selector
+	agg          Aggregator
+	observer     Observer
+	rng          *mat.RNG
+	parallel     int
+	evalParallel int
+	round        int
+	history      []RoundRecord
+
+	// Round-loop scratch, all reused across rounds. localModels is indexed
+	// by selection slot (each slot's result must survive until aggregation),
+	// sgds by pool worker (a worker trains its claimed slots sequentially).
+	localModels []*ml.Model
+	sgds        []*ml.SGD
+	results     []localResult
+	updates     []Update
+	aggScratch  *ml.Model
+	// Evaluation scratch: one Evaluator per eval worker for the shard map,
+	// per-shard loss/error buffers reduced in shard order, and a chunk-
+	// parallel evaluator for the test set.
+	shardEvals  []*ml.Evaluator
+	shardLosses []float64
+	shardErrs   []error
+	testEval    *ml.Evaluator
 }
 
 // Option customizes an Engine.
@@ -191,10 +219,21 @@ func WithObserver(o Observer) Option {
 	return func(e *Engine) { e.observer = o }
 }
 
-// WithParallelism caps concurrent local-training goroutines; 1 forces
-// sequential execution, 0 selects GOMAXPROCS.
+// WithParallelism caps concurrent local-training workers; 1 forces
+// sequential execution, 0 selects GOMAXPROCS. Results are bit-identical for
+// every setting: a client's training stream is derived from (seed, client,
+// round), never from which worker ran it.
 func WithParallelism(n int) Option {
 	return func(e *Engine) { e.parallel = n }
+}
+
+// WithEvalParallelism caps the workers used for post-aggregation evaluation
+// (global loss over the shards, accuracy over the test set); 1 forces
+// sequential evaluation, 0 selects GOMAXPROCS. Results are bit-identical
+// for every setting: per-shard losses are reduced in shard order and the
+// test pass uses a fixed chunk decomposition.
+func WithEvalParallelism(n int) Option {
+	return func(e *Engine) { e.evalParallel = n }
 }
 
 // NewEngine validates the config and builds an engine over the given shards.
@@ -220,14 +259,20 @@ func NewEngine(cfg Config, shards []*dataset.Dataset, opts ...Option) (*Engine, 
 	if act == 0 {
 		act = ml.Softmax
 	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
 	e := &Engine{
-		cfg:      cfg,
-		shards:   shards,
-		global:   ml.NewModel(classes, dim, act),
-		selector: RandomSelector{},
-		agg:      MeanAggregator{},
-		rng:      mat.NewRNG(cfg.Seed),
-		parallel: runtime.GOMAXPROCS(0),
+		cfg:          cfg,
+		shards:       shards,
+		totalSamples: total,
+		global:       ml.NewModel(classes, dim, act),
+		selector:     RandomSelector{},
+		agg:          MeanAggregator{},
+		rng:          mat.NewRNG(cfg.Seed),
+		parallel:     runtime.GOMAXPROCS(0),
+		evalParallel: runtime.GOMAXPROCS(0),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -235,6 +280,12 @@ func NewEngine(cfg Config, shards []*dataset.Dataset, opts ...Option) (*Engine, 
 	if e.parallel <= 0 {
 		e.parallel = runtime.GOMAXPROCS(0)
 	}
+	if e.evalParallel <= 0 {
+		e.evalParallel = runtime.GOMAXPROCS(0)
+	}
+	e.aggScratch = ml.NewModel(classes, dim, act)
+	e.shardLosses = make([]float64, len(shards))
+	e.shardErrs = make([]error, len(shards))
 	return e, nil
 }
 
@@ -269,23 +320,50 @@ type localResult struct {
 
 // Round performs one full FedAvg round: select K_t, broadcast ω_t, train E
 // local epochs on each selected shard, aggregate per Eq. (2), evaluate.
+//
+// The round commits atomically: the aggregate is formed in a scratch model
+// and evaluated there, and only if every stage succeeds are the global
+// model, round counter, and history advanced together. A failed round
+// leaves the engine exactly as it was, so callers can retry or abort
+// without inheriting a half-advanced state.
 func (e *Engine) Round() (RoundRecord, error) {
 	selected := e.selector.Select(e.rng, len(e.shards), e.cfg.ClientsPerRound, e.round)
 	lr := e.currentLR()
+	e.ensureRoundScratch(len(selected))
+	results := e.results[:len(selected)]
 
-	results := make([]localResult, len(selected))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.parallel)
-	for i, c := range selected {
-		wg.Add(1)
-		go func(slot, client int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[slot] = e.trainLocal(client, lr)
-		}(i, c)
+	// Bounded worker pool: each of up to e.parallel workers owns one SGD
+	// (and thereby its gradient/probability/shuffle buffers and RNG object)
+	// and claims selection slots off a shared cursor. Which worker trains
+	// which client is scheduling-dependent, but harmless: a client's
+	// training stream is reseeded from (seed, client, round) on every
+	// assignment, so the trajectory is identical for any pool size.
+	workers := e.parallel
+	if workers > len(selected) {
+		workers = len(selected)
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for i, c := range selected {
+			results[i] = e.trainLocal(0, i, c, lr)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(selected) {
+						return
+					}
+					results[i] = e.trainLocal(w, i, selected[i], lr)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 
 	for _, r := range results {
 		if r.err != nil {
@@ -293,12 +371,13 @@ func (e *Engine) Round() (RoundRecord, error) {
 		}
 	}
 
-	// Aggregate (default: ω_{t+1} = (1/K) Σ ω_{k,t}, paper Eq. 2).
-	updates := make([]Update, len(results))
+	// Aggregate (default: ω_{t+1} = (1/K) Σ ω_{k,t}, paper Eq. 2) into the
+	// scratch model; the engine's state is untouched until the commit below.
+	updates := e.updates[:len(results)]
 	for i, r := range results {
 		updates[i] = Update{Client: r.client, Model: r.model, Samples: e.shards[r.client].Len()}
 	}
-	if err := e.agg.Aggregate(e.global, updates); err != nil {
+	if err := e.agg.Aggregate(e.aggScratch, updates); err != nil {
 		return RoundRecord{}, fmt.Errorf("round %d: %w", e.round, err)
 	}
 
@@ -313,20 +392,27 @@ func (e *Engine) Round() (RoundRecord, error) {
 		rec.LocalLosses[i] = r.loss
 	}
 
-	loss, err := e.GlobalLoss()
+	loss, err := e.globalLossOf(e.aggScratch)
 	if err != nil {
 		return RoundRecord{}, fmt.Errorf("round %d global loss: %w", e.round, err)
 	}
 	rec.TrainLoss = loss
 
 	if e.test != nil {
-		acc, err := ml.Accuracy(e.global, e.test)
+		if e.testEval == nil {
+			e.testEval = ml.NewEvaluator(e.evalParallel)
+		}
+		acc, err := e.testEval.Accuracy(e.aggScratch, e.test)
 		if err != nil {
 			return RoundRecord{}, fmt.Errorf("round %d accuracy: %w", e.round, err)
 		}
 		rec.TestAccuracy = acc
 	}
 
+	// Commit model, round counter, and history together.
+	if err := e.global.CopyFrom(e.aggScratch); err != nil {
+		return RoundRecord{}, fmt.Errorf("round %d commit: %w", e.round, err)
+	}
 	e.round++
 	e.history = append(e.history, rec)
 	if e.observer != nil {
@@ -335,45 +421,114 @@ func (e *Engine) Round() (RoundRecord, error) {
 	return rec, nil
 }
 
-// trainLocal clones the global model and runs E epochs on one shard.
-func (e *Engine) trainLocal(client int, lr float64) localResult {
-	local := e.global.Clone()
-	sgd, err := ml.NewSGD(ml.SGDConfig{
+// ensureRoundScratch sizes the per-slot and per-worker reusable buffers for
+// a round over k selected clients.
+func (e *Engine) ensureRoundScratch(k int) {
+	for len(e.localModels) < k {
+		e.localModels = append(e.localModels, ml.NewModel(e.global.Classes(), e.global.Features(), e.global.Act))
+	}
+	workers := e.parallel
+	if workers > k {
+		workers = k
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(e.sgds) < workers {
+		e.sgds = append(e.sgds, nil)
+	}
+	if cap(e.results) < k {
+		e.results = make([]localResult, k)
+		e.updates = make([]Update, k)
+	}
+	e.results = e.results[:cap(e.results)]
+	e.updates = e.updates[:cap(e.updates)]
+}
+
+// trainLocal copies the global model into slot scratch and runs E epochs of
+// worker w's optimizer on one client's shard.
+func (e *Engine) trainLocal(w, slot, client int, lr float64) localResult {
+	local := e.localModels[slot]
+	if err := local.CopyFrom(e.global); err != nil {
+		return localResult{client: client, err: err}
+	}
+	cfg := ml.SGDConfig{
 		LearningRate: lr,
 		BatchSize:    e.cfg.BatchSize,
 		ProximalMu:   e.cfg.ProximalMu,
-		// Mini-batch order must not depend on goroutine scheduling: derive
-		// the seed from (run seed, client, round).
+		// Mini-batch order must not depend on goroutine scheduling or pool
+		// size: derive the seed from (run seed, client, round).
 		Seed: e.cfg.Seed ^ uint64(client)<<32 ^ uint64(e.round),
-	})
+	}
+	var err error
+	if e.sgds[w] == nil {
+		e.sgds[w], err = ml.NewSGD(cfg)
+	} else {
+		err = e.sgds[w].Reset(cfg)
+	}
 	if err != nil {
 		return localResult{client: client, err: err}
 	}
+	sgd := e.sgds[w]
 	if e.cfg.ProximalMu > 0 {
 		// The FedProx anchor is this round's immutable global snapshot.
 		sgd.SetProximalRef(e.global)
 	}
-	losses, err := sgd.Train(local, e.shards[client], e.cfg.LocalEpochs)
+	loss, err := sgd.TrainFinal(local, e.shards[client], e.cfg.LocalEpochs)
 	if err != nil {
 		return localResult{client: client, err: err}
 	}
-	return localResult{client: client, model: local, loss: losses[len(losses)-1]}
+	return localResult{client: client, model: local, loss: loss}
 }
 
 // GlobalLoss evaluates the global objective F(ω) = Σ_k (n_k/n)·F_k(ω) over
 // all shards.
 func (e *Engine) GlobalLoss() (float64, error) {
-	var weighted float64
-	var total int
-	for i, s := range e.shards {
-		l, err := ml.Loss(e.global, s)
-		if err != nil {
-			return 0, fmt.Errorf("shard %d loss: %w", i, err)
-		}
-		weighted += l * float64(s.Len())
-		total += s.Len()
+	return e.globalLossOf(e.global)
+}
+
+// globalLossOf runs the shard-parallel map-reduce for F(ω): up to
+// evalParallel workers each own an Evaluator (reusing its scratch across
+// rounds) and claim whole shards statically; the weighted per-shard losses
+// are reduced in shard order, so the value is bit-identical for every
+// worker count.
+func (e *Engine) globalLossOf(m *ml.Model) (float64, error) {
+	workers := e.evalParallel
+	if workers > len(e.shards) {
+		workers = len(e.shards)
 	}
-	return weighted / float64(total), nil
+	if workers < 1 {
+		workers = 1
+	}
+	for len(e.shardEvals) < workers {
+		e.shardEvals = append(e.shardEvals, ml.NewEvaluator(1))
+	}
+	body := func(w int) {
+		for i := w; i < len(e.shards); i += workers {
+			e.shardLosses[i], e.shardErrs[i] = e.shardEvals[w].Loss(m, e.shards[i])
+		}
+	}
+	if workers == 1 {
+		body(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				body(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	var weighted float64
+	for i, s := range e.shards {
+		if e.shardErrs[i] != nil {
+			return 0, fmt.Errorf("shard %d loss: %w", i, e.shardErrs[i])
+		}
+		weighted += e.shardLosses[i] * float64(s.Len())
+	}
+	return weighted / float64(e.totalSamples), nil
 }
 
 // StopCondition inspects the history after each round and reports whether

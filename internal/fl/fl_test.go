@@ -210,6 +210,117 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRoundParallelBitIdentical is the engine-level equivalence pin: a fully
+// sequential engine (one training worker, one eval worker) and a heavily
+// pooled one must produce bit-identical histories — losses, accuracies, and
+// per-client local losses — under the same seed. Mini-batch mode makes the
+// check cover shuffle-stream placement too.
+func TestRoundParallelBitIdentical(t *testing.T) {
+	shards, test := quickShards(t, 10)
+	for _, batch := range []int{0, 16} {
+		run := func(train, eval int) []RoundRecord {
+			cfg := quickConfig()
+			cfg.BatchSize = batch
+			e, err := NewEngine(cfg, shards, WithTestSet(test),
+				WithParallelism(train), WithEvalParallelism(eval))
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			recs, err := e.Run(MaxRounds(4))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			return recs
+		}
+		seq, par := run(1, 1), run(8, 8)
+		for i := range seq {
+			if seq[i].TrainLoss != par[i].TrainLoss {
+				t.Errorf("batch=%d round %d: TrainLoss seq %v != par %v", batch, i, seq[i].TrainLoss, par[i].TrainLoss)
+			}
+			if seq[i].TestAccuracy != par[i].TestAccuracy {
+				t.Errorf("batch=%d round %d: TestAccuracy seq %v != par %v", batch, i, seq[i].TestAccuracy, par[i].TestAccuracy)
+			}
+			for j := range seq[i].LocalLosses {
+				if seq[i].LocalLosses[j] != par[i].LocalLosses[j] {
+					t.Errorf("batch=%d round %d client slot %d: local loss diverged", batch, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalLossParallelBitIdentical pins the shard map-reduce: the same
+// trained model must evaluate to the exact same float for every eval worker
+// count.
+func TestGlobalLossParallelBitIdentical(t *testing.T) {
+	shards, _ := quickShards(t, 10)
+	lossWith := func(eval int) float64 {
+		e, err := NewEngine(quickConfig(), shards, WithEvalParallelism(eval))
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		if _, err := e.Run(MaxRounds(2)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		l, err := e.GlobalLoss()
+		if err != nil {
+			t.Fatalf("GlobalLoss: %v", err)
+		}
+		return l
+	}
+	want := lossWith(1)
+	for _, eval := range []int{2, 3, 16} {
+		if got := lossWith(eval); got != want {
+			t.Errorf("GlobalLoss(eval=%d) = %v, want bit-identical %v", eval, got, want)
+		}
+	}
+}
+
+// corruptingAggregator scribbles into dst and then fails — the worst-case
+// aggregator for commit atomicity.
+type corruptingAggregator struct{}
+
+func (corruptingAggregator) Aggregate(dst *ml.Model, _ []Update) error {
+	dst.W.Fill(999)
+	return errors.New("aggregator exploded")
+}
+
+// TestRoundCommitsAtomically: a failed round must leave the engine exactly
+// as it was — model parameters, round counter, and history — even when the
+// failing stage has already scribbled into the aggregation target.
+func TestRoundCommitsAtomically(t *testing.T) {
+	shards, test := quickShards(t, 10)
+	e, err := NewEngine(quickConfig(), shards, WithTestSet(test))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if _, err := e.Run(MaxRounds(2)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	before := e.Global().Clone()
+
+	e.agg = corruptingAggregator{}
+	if _, err := e.Round(); err == nil {
+		t.Fatal("Round with failing aggregator must error")
+	}
+	if d := e.Global().ParamDistance(before); d != 0 {
+		t.Errorf("failed round moved the global model by %v, want 0", d)
+	}
+	if e.Rounds() != 2 || len(e.History()) != 2 {
+		t.Errorf("failed round advanced bookkeeping: rounds=%d history=%d, want 2/2", e.Rounds(), len(e.History()))
+	}
+
+	// The engine must still be able to complete rounds afterwards.
+	e.agg = MeanAggregator{}
+	rec, err := e.Round()
+	if err != nil {
+		t.Fatalf("Round after recovery: %v", err)
+	}
+	if rec.Round != 2 || e.Rounds() != 3 {
+		t.Errorf("recovered round index = %d (rounds=%d), want 2 (3)", rec.Round, e.Rounds())
+	}
+}
+
 func TestLearningRateDecaysPerRound(t *testing.T) {
 	shards, _ := quickShards(t, 10)
 	e, err := NewEngine(quickConfig(), shards)

@@ -1,0 +1,107 @@
+package mat
+
+import "sync"
+
+// Cache-blocked and optionally parallel matrix kernels.
+//
+// Blocking tiles the shared operand so it is re-streamed from L1/L2 instead
+// of main memory; parallel variants split output rows across workers. Both
+// transformations preserve the per-element accumulation order (k ascending
+// for every dst element, each output row owned by exactly one goroutine), so
+// results are bit-for-bit identical between the sequential and parallel
+// paths and across worker counts — the determinism contract the federated
+// engine's equivalence tests pin.
+
+const (
+	// gemmBlockK is the number of B rows per panel; 64 rows × up to
+	// gemmBlockJ cols of float64 fit comfortably in L2 alongside dst rows.
+	gemmBlockK = 64
+	// gemmBlockJ is the output-column tile width: 256 float64 = 2 KiB per
+	// row slice, small enough that a dst row tile stays in L1 across the
+	// whole k panel.
+	gemmBlockJ = 256
+	// minRowsPerWorker gates goroutine spawn: below this many output rows
+	// per worker the synchronization overhead outweighs the parallelism.
+	minRowsPerWorker = 8
+)
+
+// parallelRows invokes fn over a disjoint cover of [0, rows) from workers
+// goroutines and waits for completion. workers <= 1 (or a row count too
+// small to amortize spawn cost) degrades to a single inline call.
+func parallelRows(rows, workers int, fn func(lo, hi int)) {
+	if workers > rows/minRowsPerWorker {
+		workers = rows / minRowsPerWorker
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRange computes dst rows [lo, hi) of dst = A·B with k- and j-blocking.
+// Rows of dst in the range must be pre-zeroed.
+func gemmRange(dst, a, b *Dense, lo, hi int) {
+	for jc := 0; jc < b.cols; jc += gemmBlockJ {
+		jHi := jc + gemmBlockJ
+		if jHi > b.cols {
+			jHi = b.cols
+		}
+		for kc := 0; kc < a.cols; kc += gemmBlockK {
+			kHi := kc + gemmBlockK
+			if kHi > a.cols {
+				kHi = a.cols
+			}
+			for i := lo; i < hi; i++ {
+				dstRow := dst.Row(i)[jc:jHi]
+				aRow := a.Row(i)
+				for k := kc; k < kHi; k++ {
+					Axpy(dstRow, aRow[k], b.Row(k)[jc:jHi])
+				}
+			}
+		}
+	}
+}
+
+// MulWorkers computes dst = A·B using the cache-blocked kernel with output
+// rows split across up to workers goroutines (workers <= 1 runs inline; 0 is
+// treated as 1). Shapes follow Mul; dst must not alias A or B. The result is
+// bit-identical to Mul for any worker count.
+func MulWorkers(dst, a, b *Dense, workers int) error {
+	if err := mulShapeCheck(dst, a, b); err != nil {
+		return err
+	}
+	dst.Zero()
+	parallelRows(a.rows, workers, func(lo, hi int) {
+		gemmRange(dst, a, b, lo, hi)
+	})
+	return nil
+}
+
+// MulVecWorkers computes dst = M·x with rows split across up to workers
+// goroutines. Shapes follow MulVec; dst may not alias x. The result is
+// bit-identical to MulVec for any worker count.
+func (m *Dense) MulVecWorkers(dst, x []float64, workers int) error {
+	if len(x) != m.cols || len(dst) != m.rows {
+		return mulVecShapeError(m, dst, x)
+	}
+	parallelRows(m.rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Dot(m.Row(i), x)
+		}
+	})
+	return nil
+}

@@ -1,6 +1,9 @@
 package mat
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a small deterministic random source (SplitMix64 for the state walk,
 // xorshift-style output) with the distributions the simulators need. It is
@@ -33,6 +36,18 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
 }
 
+// Reseed reinitializes the receiver in place to the stream NewRNG(seed)
+// would produce, discarding any cached Gaussian spare. It lets long-lived
+// owners (worker pools, reusable optimizers) jump to a deterministic stream
+// without allocating a fresh RNG.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = seed
+	r.spare = 0
+	r.hasSpare = false
+	r.Uint64()
+	r.Uint64()
+}
+
 // Uint64 returns the next 64 uniformly random bits (SplitMix64).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -48,11 +63,26 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics when n <= 0.
+//
+// The bound is applied with Lemire's multiply-shift rejection method, which
+// is exactly uniform for every n (the previous modulo reduction favoured
+// small residues for non-power-of-two n by up to 2⁻⁴⁰ per value at IoT-fleet
+// sizes — small, but a bias the chi-square tests now reject permanently).
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("mat: Intn with non-positive bound")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// Reject the sliver of the 64-bit range that maps unevenly:
+		// 2^64 mod n values, at most one retry every 2^64/n draws.
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Norm returns a standard Gaussian sample (Box–Muller).
@@ -80,23 +110,51 @@ func (r *RNG) NormScaled(mean, stddev float64) float64 {
 // Perm returns a uniformly random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// allocation-free, so epoch loops can reuse one shuffle buffer.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Sample returns k distinct indices drawn uniformly from [0, n) in random
 // order. It panics when k > n or k < 0.
+//
+// It runs a sparse partial Fisher–Yates shuffle: only the k virtually
+// swapped positions are materialized in a map, so drawing K clients out of
+// an n-device fleet is O(k) time and space instead of the former O(n)
+// full-permutation shuffle — Sample runs every round in both fl and flnet.
 func (r *RNG) Sample(n, k int) []int {
 	if k < 0 || k > n {
 		panic("mat: Sample k out of range")
 	}
-	return r.Perm(n)[:k]
+	out := make([]int, k)
+	displaced := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		// Virtual array a[0..n-1] starts as identity; swap a[i] with a[j],
+		// j uniform in [i, n), and emit the value landing at position i.
+		j := i + r.Intn(n-i)
+		vi, okI := displaced[i]
+		if !okI {
+			vi = i
+		}
+		vj, okJ := displaced[j]
+		if !okJ {
+			vj = j
+		}
+		out[i] = vj
+		displaced[j] = vi
+	}
+	return out
 }
 
 // Bernoulli returns true with probability p (clamped to [0,1]).

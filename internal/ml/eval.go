@@ -1,0 +1,186 @@
+package ml
+
+import (
+	"fmt"
+	"sync"
+
+	"eefei/internal/dataset"
+	"eefei/internal/mat"
+)
+
+// evalChunk is the fixed row-block size evaluation passes are split into.
+// Partial sums are always reduced in chunk order, so a metric's value
+// depends only on this constant — never on how many workers computed the
+// chunks. Changing it changes last-bit rounding of Loss.
+const evalChunk = 256
+
+// Evaluator computes dataset-level metrics (loss, accuracy) with reusable
+// per-worker scratch buffers and optional data parallelism. The zero worker
+// count evaluates inline on the calling goroutine.
+//
+// An Evaluator is not safe for concurrent use; it is meant to be owned by
+// one evaluation loop (the federated engine keeps one per eval worker).
+// Results are bit-for-bit identical for every worker count.
+type Evaluator struct {
+	workers int
+	// m, d, and pass describe the in-flight evaluation; they are stored on
+	// the struct (rather than captured by closures) so that a pass performs
+	// zero heap allocations after warm-up.
+	m    *Model
+	d    *dataset.Dataset
+	pass evalPass
+	// scratch holds one classes-sized probability buffer per worker,
+	// (re)sized lazily when the model shape changes.
+	scratch [][]float64
+	// sums buffers per-chunk partial results between the map and reduce
+	// halves of a pass.
+	sums []float64
+	// hits buffers per-chunk correct-prediction counts for Accuracy.
+	hits []int
+	errs []error
+}
+
+// evalPass selects which metric a chunk worker computes.
+type evalPass int
+
+const (
+	passLoss evalPass = iota
+	passAccuracy
+)
+
+// NewEvaluator returns an evaluator that fans each pass out over up to
+// workers goroutines; workers <= 1 evaluates inline.
+func NewEvaluator(workers int) *Evaluator {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Evaluator{workers: workers}
+}
+
+// prepare sizes the per-worker scratch for a pass over d with model m and
+// returns the chunk count.
+func (ev *Evaluator) prepare(m *Model, d *dataset.Dataset) (int, error) {
+	if d.Len() == 0 {
+		return 0, dataset.ErrEmpty
+	}
+	if d.Dim() != m.Features() {
+		return 0, fmt.Errorf("evaluate %d-dim data with %d-dim model: %w", d.Dim(), m.Features(), ErrModelShape)
+	}
+	chunks := (d.Len() + evalChunk - 1) / evalChunk
+	if ev.scratch == nil {
+		ev.scratch = make([][]float64, ev.workers)
+	}
+	for w := range ev.scratch {
+		if len(ev.scratch[w]) != m.Classes() {
+			ev.scratch[w] = make([]float64, m.Classes())
+		}
+	}
+	if cap(ev.sums) < chunks {
+		ev.sums = make([]float64, chunks)
+		ev.hits = make([]int, chunks)
+		ev.errs = make([]error, chunks)
+	}
+	ev.sums = ev.sums[:chunks]
+	ev.hits = ev.hits[:chunks]
+	ev.errs = ev.errs[:chunks]
+	return chunks, nil
+}
+
+// chunkWorker computes worker w's statically assigned chunks (w, w+workers,
+// …) of the in-flight pass, writing per-chunk results into sums/hits/errs.
+// Static assignment gives each scratch buffer exactly one owner.
+func (ev *Evaluator) chunkWorker(w, workers int) {
+	chunks := len(ev.sums)
+	for chunk := w; chunk < chunks; chunk += workers {
+		lo := chunk * evalChunk
+		hi := lo + evalChunk
+		if hi > ev.d.Len() {
+			hi = ev.d.Len()
+		}
+		switch ev.pass {
+		case passLoss:
+			ev.sums[chunk], ev.errs[chunk] = lossRowRange(ev.m, ev.d, lo, hi, ev.scratch[w])
+		case passAccuracy:
+			ev.hits[chunk], ev.errs[chunk] = accuracyRowRange(ev.m, ev.d, lo, hi, ev.scratch[w])
+		}
+	}
+}
+
+// run executes one pass over every chunk of d and returns the first
+// chunk-order error.
+func (ev *Evaluator) run(m *Model, d *dataset.Dataset, pass evalPass) error {
+	ev.m, ev.d, ev.pass = m, d, pass
+	chunks := len(ev.sums)
+	workers := ev.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		ev.chunkWorker(0, 1)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ev.chunkWorker(w, workers)
+			}(w)
+		}
+		wg.Wait()
+	}
+	ev.m, ev.d = nil, nil
+	for _, err := range ev.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accuracyRowRange counts how many of rows [lo, hi) of d the model classifies
+// correctly, using scores as logit scratch.
+func accuracyRowRange(m *Model, d *dataset.Dataset, lo, hi int, scores []float64) (int, error) {
+	correct := 0
+	for i := lo; i < hi; i++ {
+		if err := m.Logits(scores, d.X.Row(i)); err != nil {
+			return 0, err
+		}
+		if mat.ArgMax(scores) == d.Labels[i] {
+			correct++
+		}
+	}
+	return correct, nil
+}
+
+// Loss computes the mean loss of m over d — the same metric as the
+// package-level Loss, summed block-wise (see evalChunk).
+func (ev *Evaluator) Loss(m *Model, d *dataset.Dataset) (float64, error) {
+	if _, err := ev.prepare(m, d); err != nil {
+		return 0, err
+	}
+	if err := ev.run(m, d, passLoss); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, s := range ev.sums {
+		total += s
+	}
+	return total / float64(d.Len()), nil
+}
+
+// Accuracy computes the fraction of rows of d that m classifies correctly —
+// the same metric as the package-level Accuracy, without materializing the
+// prediction slice.
+func (ev *Evaluator) Accuracy(m *Model, d *dataset.Dataset) (float64, error) {
+	if _, err := ev.prepare(m, d); err != nil {
+		return 0, err
+	}
+	if err := ev.run(m, d, passAccuracy); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, h := range ev.hits {
+		total += h
+	}
+	return float64(total) / float64(d.Len()), nil
+}

@@ -15,31 +15,51 @@ const epsLog = 1e-12
 // Loss computes the mean loss of the model over d: cross-entropy for the
 // softmax head, summed per-class binary cross-entropy for the sigmoid head.
 // This is the F_k(ω) of the paper's Eq. (1).
+//
+// Loss allocates one probability scratch per call; evaluation loops should
+// hold an Evaluator, which reuses its scratch and can shard the pass over
+// workers.
 func Loss(m *Model, d *dataset.Dataset) (float64, error) {
 	if d.Dim() != m.Features() {
 		return 0, fmt.Errorf("loss on %d-dim data with %d-dim model: %w", d.Dim(), m.Features(), ErrModelShape)
 	}
 	probs := make([]float64, m.Classes())
+	total, err := lossRowRange(m, d, 0, d.Len(), probs)
+	if err != nil {
+		return 0, err
+	}
+	return total / float64(d.Len()), nil
+}
+
+// lossRowRange sums (not averages) the per-sample loss over rows [lo, hi)
+// using the caller's probability scratch.
+func lossRowRange(m *Model, d *dataset.Dataset, lo, hi int, probs []float64) (float64, error) {
 	var total float64
-	for i := 0; i < d.Len(); i++ {
+	for i := lo; i < hi; i++ {
 		if err := m.Probabilities(probs, d.X.Row(i)); err != nil {
 			return 0, err
 		}
-		y := d.Labels[i]
-		switch m.Act {
-		case Sigmoid:
-			for c, p := range probs {
-				if c == y {
-					total -= math.Log(math.Max(p, epsLog))
-				} else {
-					total -= math.Log(math.Max(1-p, epsLog))
-				}
-			}
-		default:
-			total -= math.Log(math.Max(probs[y], epsLog))
-		}
+		total += sampleLoss(m.Act, probs, d.Labels[i])
 	}
-	return total / float64(d.Len()), nil
+	return total, nil
+}
+
+// sampleLoss returns one sample's loss given its class probabilities.
+func sampleLoss(act Activation, probs []float64, y int) float64 {
+	var total float64
+	switch act {
+	case Sigmoid:
+		for c, p := range probs {
+			if c == y {
+				total -= math.Log(math.Max(p, epsLog))
+			} else {
+				total -= math.Log(math.Max(1-p, epsLog))
+			}
+		}
+	default:
+		total -= math.Log(math.Max(probs[y], epsLog))
+	}
+	return total
 }
 
 // Gradient accumulates the mean gradient of the loss over the rows of d into
@@ -57,27 +77,38 @@ func Gradient(m *Model, d *dataset.Dataset, grad *Model) (float64, error) {
 		return 0, fmt.Errorf("gradient accumulator %dx%d for model %dx%d: %w",
 			grad.Classes(), grad.Features(), m.Classes(), m.Features(), ErrModelShape)
 	}
-	probs := make([]float64, m.Classes())
+	return gradientRows(m, d, nil, grad, make([]float64, m.Classes()))
+}
+
+// gradientRows accumulates the mean gradient over the given rows of d (nil
+// rows selects every row) into grad using the caller's probability scratch,
+// and returns the mean loss over the same rows. It is the allocation-free
+// core the SGD epoch loop runs: mini-batches pass permutation slices
+// directly instead of materializing subset datasets.
+func gradientRows(m *Model, d *dataset.Dataset, rows []int, grad *Model, probs []float64) (float64, error) {
+	n := d.Len()
+	if rows != nil {
+		n = len(rows)
+	}
+	if n == 0 {
+		return 0, dataset.ErrEmpty
+	}
 	var totalLoss float64
-	invN := 1 / float64(d.Len())
-	for i := 0; i < d.Len(); i++ {
+	invN := 1 / float64(n)
+	for ii := 0; ii < n; ii++ {
+		i := ii
+		if rows != nil {
+			i = rows[ii]
+			if i < 0 || i >= d.Len() {
+				return 0, fmt.Errorf("gradient row %d outside [0,%d): %w", i, d.Len(), ErrModelShape)
+			}
+		}
 		x := d.X.Row(i)
 		if err := m.Probabilities(probs, x); err != nil {
 			return 0, err
 		}
 		y := d.Labels[i]
-		switch m.Act {
-		case Sigmoid:
-			for c, p := range probs {
-				if c == y {
-					totalLoss -= math.Log(math.Max(p, epsLog))
-				} else {
-					totalLoss -= math.Log(math.Max(1-p, epsLog))
-				}
-			}
-		default:
-			totalLoss -= math.Log(math.Max(probs[y], epsLog))
-		}
+		totalLoss += sampleLoss(m.Act, probs, y)
 		for c, p := range probs {
 			delta := p
 			if c == y {

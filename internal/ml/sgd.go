@@ -45,8 +45,10 @@ type SGD struct {
 	lr      float64
 	step    int // epochs performed so far, drives decay
 	rng     *mat.RNG
-	grad    *Model // reusable gradient accumulator
-	proxRef *Model // FedProx anchor; nil disables the proximal pull
+	grad    *Model    // reusable gradient accumulator
+	probs   []float64 // reusable per-sample probability scratch
+	perm    []int     // reusable mini-batch shuffle buffer
+	proxRef *Model    // FedProx anchor; nil disables the proximal pull
 }
 
 // SetProximalRef anchors FedProx local training to ref (typically the
@@ -72,19 +74,42 @@ func (s *SGD) applyProximal(m *Model) {
 
 // NewSGD validates cfg and returns an optimizer.
 func NewSGD(cfg SGDConfig) (*SGD, error) {
+	s := &SGD{}
+	if err := s.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset revalidates and adopts cfg, rewinds the decay schedule, reseeds the
+// shuffle stream in place, and clears any proximal reference — while keeping
+// the gradient accumulator and scratch buffers. A federated worker calls
+// Reset once per (client, round) assignment so that training allocates
+// nothing after the first round, and the resulting streams depend only on
+// cfg.Seed, never on which worker ran the client.
+func (s *SGD) Reset(cfg SGDConfig) error {
 	if cfg.LearningRate <= 0 {
-		return nil, fmt.Errorf("ml: learning rate %v must be positive", cfg.LearningRate)
+		return fmt.Errorf("ml: learning rate %v must be positive", cfg.LearningRate)
 	}
 	if cfg.Decay < 0 || cfg.Decay > 1 {
-		return nil, fmt.Errorf("ml: decay %v outside [0,1]", cfg.Decay)
+		return fmt.Errorf("ml: decay %v outside [0,1]", cfg.Decay)
 	}
 	if cfg.BatchSize < 0 {
-		return nil, fmt.Errorf("ml: batch size %v negative", cfg.BatchSize)
+		return fmt.Errorf("ml: batch size %v negative", cfg.BatchSize)
 	}
 	if cfg.ProximalMu < 0 {
-		return nil, fmt.Errorf("ml: proximal mu %v negative", cfg.ProximalMu)
+		return fmt.Errorf("ml: proximal mu %v negative", cfg.ProximalMu)
 	}
-	return &SGD{cfg: cfg, lr: cfg.LearningRate, rng: mat.NewRNG(cfg.Seed)}, nil
+	s.cfg = cfg
+	s.lr = cfg.LearningRate
+	s.step = 0
+	s.proxRef = nil
+	if s.rng == nil {
+		s.rng = mat.NewRNG(cfg.Seed)
+	} else {
+		s.rng.Reseed(cfg.Seed)
+	}
+	return nil
 }
 
 // LearningRate returns the current (decayed) step size.
@@ -99,15 +124,21 @@ func (s *SGD) Epoch(m *Model, d *dataset.Dataset) (float64, error) {
 	if d.Len() == 0 {
 		return 0, dataset.ErrEmpty
 	}
+	if d.Dim() != m.Features() {
+		return 0, fmt.Errorf("epoch on %d-dim data with %d-dim model: %w", d.Dim(), m.Features(), ErrModelShape)
+	}
 	if s.grad == nil || s.grad.Classes() != m.Classes() || s.grad.Features() != m.Features() {
 		s.grad = NewModel(m.Classes(), m.Features(), m.Act)
+	}
+	if len(s.probs) != m.Classes() {
+		s.probs = make([]float64, m.Classes())
 	}
 
 	var loss float64
 	if s.cfg.BatchSize <= 0 || s.cfg.BatchSize >= d.Len() {
 		// Full-batch gradient descent (the paper's setting).
 		s.grad.Zero()
-		l, err := Gradient(m, d, s.grad)
+		l, err := gradientRows(m, d, nil, s.grad, s.probs)
 		if err != nil {
 			return 0, fmt.Errorf("epoch gradient: %w", err)
 		}
@@ -117,20 +148,21 @@ func (s *SGD) Epoch(m *Model, d *dataset.Dataset) (float64, error) {
 		}
 		s.applyProximal(m)
 	} else {
-		// Mini-batch pass in shuffled order.
-		perm := s.rng.Perm(d.Len())
+		// Mini-batch pass in shuffled order. The shuffle buffer is reused
+		// across epochs and batches are permutation slices fed straight to
+		// the gradient core — no subset datasets are materialized.
+		if len(s.perm) != d.Len() {
+			s.perm = make([]int, d.Len())
+		}
+		s.rng.PermInto(s.perm)
 		var batches, lossSum float64
-		for start := 0; start < len(perm); start += s.cfg.BatchSize {
+		for start := 0; start < len(s.perm); start += s.cfg.BatchSize {
 			end := start + s.cfg.BatchSize
-			if end > len(perm) {
-				end = len(perm)
-			}
-			batch, err := d.Subset(perm[start:end])
-			if err != nil {
-				return 0, fmt.Errorf("epoch batch: %w", err)
+			if end > len(s.perm) {
+				end = len(s.perm)
 			}
 			s.grad.Zero()
-			l, err := Gradient(m, batch, s.grad)
+			l, err := gradientRows(m, d, s.perm[start:end], s.grad, s.probs)
 			if err != nil {
 				return 0, fmt.Errorf("epoch gradient: %w", err)
 			}
@@ -166,4 +198,22 @@ func (s *SGD) Train(m *Model, d *dataset.Dataset, epochs int) ([]float64, error)
 		losses = append(losses, l)
 	}
 	return losses, nil
+}
+
+// TrainFinal runs epochs passes over d like Train but returns only the final
+// epoch's loss, allocating nothing. Hot loops (the federated engine trains
+// K clients per round) use this to skip the trajectory slice.
+func (s *SGD) TrainFinal(m *Model, d *dataset.Dataset, epochs int) (float64, error) {
+	if epochs <= 0 {
+		return 0, fmt.Errorf("ml: epochs %d must be positive", epochs)
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		l, err := s.Epoch(m, d)
+		if err != nil {
+			return 0, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		last = l
+	}
+	return last, nil
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo's benchmark suite with fixed seeds and emit the
+# BENCH_<date>.json perf artifact (ns/op, B/op, allocs/op per benchmark).
+#
+# Packages covered: the root package (paper figure/table pins, including the
+# flnet fault-injection round), internal/fl (FedAvg round + global loss),
+# internal/ml (evaluator + SGD epochs), and internal/mat (GEMM, matvec, RNG).
+#
+# Environment knobs:
+#   BENCH_DATE  — artifact date stamp (default: today, YYYY-MM-DD)
+#   BENCH_TIME  — -benchtime value (default 5x; fixed iteration counts keep
+#                 the artifact stable across machines)
+#   BENCH_FILTER — -bench regexp (default '.', everything)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATE="${BENCH_DATE:-$(date +%F)}"
+TIME="${BENCH_TIME:-5x}"
+FILTER="${BENCH_FILTER:-.}"
+OUT="BENCH_${DATE}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "bench: running go test -bench='${FILTER}' -benchtime=${TIME} ..." >&2
+go test -run='^$' -bench="$FILTER" -benchmem -benchtime="$TIME" \
+    . ./internal/fl ./internal/ml ./internal/mat | tee "$RAW" >&2
+
+go run ./cmd/benchfmt -date "$DATE" <"$RAW" >"$OUT"
+echo "bench: wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2

@@ -36,7 +36,10 @@ go run ./cmd/experiments
 echo "== planner CLI =="
 go run ./cmd/eefei-plan -grid
 
-echo "== benches (single shot) =="
-go test -bench=. -benchmem -benchtime=1x -run='^$' .
+echo "== benches (single shot, all packages) =="
+# Smoke-run every benchmark once so a panic or regression in a bench-only
+# code path (worker pools, blocked GEMM, evaluator scratch) fails verify.
+# scripts/bench.sh is the tool for real measurements and BENCH_*.json.
+go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
 
 echo "ALL VERIFICATIONS PASSED"
