@@ -348,6 +348,11 @@ func BenchmarkFedAvgRound(b *testing.B) {
 	if err != nil {
 		b.Fatalf("NewEngine: %v", err)
 	}
+	// One warmup round populates the pool's goroutine-stack free lists so
+	// allocs/op is the steady-state count, stable at small -benchtime.
+	if _, err := engine.Round(); err != nil {
+		b.Fatalf("warmup Round: %v", err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Round(); err != nil {
@@ -481,6 +486,9 @@ func BenchmarkRoundWithFaults(b *testing.B) {
 		}
 		if err := coord.WaitForClients(ctx, 2); err != nil {
 			b.Fatalf("WaitForClients: %v", err)
+		}
+		if _, err := coord.Round(ctx); err != nil { // warmup: steady-state allocs
+			b.Fatalf("warmup Round: %v", err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+)
+
+// Artifact comparison: `benchfmt -diff old.json new.json -tol 10` is the
+// bench regression gate scripts/verify.sh runs against the committed
+// BENCH_<date>.json baseline. Policy (documented in DESIGN.md §7):
+//
+//   - ns/op may regress by at most -tol percent (default 10); improvements
+//     always pass. Baselines faster than -min-ns skip the ns comparison —
+//     sub-tolerance timing jitter on micro-benchmarks would otherwise make
+//     the gate flaky — but stay subject to the allocation rule.
+//   - allocs/op must never increase, by any amount, at any tolerance. The
+//     allocation-free hot path was bought with PR 2's worker-pool/scratch
+//     rework; allocs are deterministic, so this rule has no jitter exposure.
+//   - every benchmark pinned in the old artifact must be present in the new
+//     one; a missing pin means the gate silently stopped covering it.
+//   - benchmarks whose label matches -skip are exempt from all three rules.
+//     This exists for experiment-harness benchmarks (one op = a whole
+//     multi-round training sweep) whose allocs/op jitters by a few counts
+//     when GC runs mid-op — they cannot be gated at zero growth.
+
+// parseArtifact decodes and validates a BENCH_*.json document. It never
+// panics on malformed input (FuzzBenchArtifact pins this): any structural
+// or numeric defect — truncation, NaN/Inf timings, non-positive iteration
+// counts — comes back as an error.
+func parseArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("parse artifact: %w", err)
+	}
+	if err := validateArtifact(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// validateArtifact enforces the invariants the diff arithmetic relies on.
+func validateArtifact(a *Artifact) error {
+	if len(a.Benchmarks) == 0 {
+		return errors.New("artifact has no benchmarks")
+	}
+	for i, b := range a.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark %d: empty name", i)
+		}
+		if math.IsNaN(b.NsPerOp) || math.IsInf(b.NsPerOp, 0) || b.NsPerOp < 0 {
+			return fmt.Errorf("benchmark %d (%s): ns_per_op %v is not a finite non-negative number", i, b.Name, b.NsPerOp)
+		}
+		if b.Iterations < 1 {
+			return fmt.Errorf("benchmark %d (%s): iterations %d < 1", i, b.Name, b.Iterations)
+		}
+		if b.Procs < 1 {
+			return fmt.Errorf("benchmark %d (%s): procs %d < 1", i, b.Name, b.Procs)
+		}
+		if b.BytesPerOp < -1 {
+			return fmt.Errorf("benchmark %d (%s): bytes_per_op %d < -1", i, b.Name, b.BytesPerOp)
+		}
+		if b.AllocsPerOp < -1 {
+			return fmt.Errorf("benchmark %d (%s): allocs_per_op %d < -1", i, b.Name, b.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
+// loadArtifact reads and validates one artifact file.
+func loadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := parseArtifact(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// benchKey identifies one pinned benchmark across artifacts.
+type benchKey struct {
+	pkg   string
+	name  string
+	procs int
+}
+
+func keyOf(b Benchmark) benchKey { return benchKey{pkg: b.Package, name: b.Name, procs: b.Procs} }
+
+func labelOf(b Benchmark) string {
+	return fmt.Sprintf("%s.%s-%d", b.Package, b.Name, b.Procs)
+}
+
+// diffArtifacts compares every benchmark pinned in oldArt against newArt,
+// writing one line per comparison to w, and returns the number of gate
+// failures. tolPct is the allowed ns/op regression percentage; minNs is the
+// baseline ns/op floor below which ns comparisons are skipped (allocs are
+// always compared); skip, when non-nil, exempts matching labels from every
+// rule (ns, allocs, and coverage).
+func diffArtifacts(w io.Writer, oldArt, newArt *Artifact, tolPct, minNs float64, skip *regexp.Regexp) int {
+	idx := make(map[benchKey]Benchmark, len(newArt.Benchmarks))
+	for _, b := range newArt.Benchmarks {
+		idx[keyOf(b)] = b
+	}
+	fails := 0
+	for _, ob := range oldArt.Benchmarks {
+		label := labelOf(ob)
+		if skip != nil && skip.MatchString(label) {
+			fmt.Fprintf(w, "skip %s: excluded by -skip (advisory only)\n", label)
+			delete(idx, keyOf(ob))
+			continue
+		}
+		nb, found := idx[keyOf(ob)]
+		if !found {
+			fmt.Fprintf(w, "FAIL %s: missing from new artifact (every pinned benchmark must keep running)\n", label)
+			fails++
+			continue
+		}
+		delete(idx, keyOf(ob))
+		switch pct := nsDeltaPct(ob.NsPerOp, nb.NsPerOp); {
+		case ob.NsPerOp < minNs || ob.NsPerOp == 0:
+			fmt.Fprintf(w, "skip %s: ns/op %+.1f%% (baseline %.0f below -min-ns %.0f, jitter-prone)\n",
+				label, pct, ob.NsPerOp, minNs)
+		case pct > tolPct:
+			fmt.Fprintf(w, "FAIL %s: ns/op %+.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
+				label, pct, ob.NsPerOp, nb.NsPerOp, tolPct)
+			fails++
+		default:
+			fmt.Fprintf(w, "ok   %s: ns/op %+.1f%% (%.0f -> %.0f)\n", label, pct, ob.NsPerOp, nb.NsPerOp)
+		}
+		if ob.AllocsPerOp >= 0 {
+			switch {
+			case nb.AllocsPerOp < 0:
+				fmt.Fprintf(w, "FAIL %s: allocs/op %d in baseline but absent from new artifact (run with -benchmem)\n",
+					label, ob.AllocsPerOp)
+				fails++
+			case nb.AllocsPerOp > ob.AllocsPerOp:
+				fmt.Fprintf(w, "FAIL %s: allocs/op %d -> %d (any increase fails)\n",
+					label, ob.AllocsPerOp, nb.AllocsPerOp)
+				fails++
+			}
+		}
+	}
+	if len(idx) > 0 {
+		fmt.Fprintf(w, "note: %d benchmark(s) only in new artifact (not yet pinned)\n", len(idx))
+	}
+	return fails
+}
+
+// nsDeltaPct returns the ns/op change as a percentage of the baseline.
+func nsDeltaPct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// runDiff is the -diff mode entry point; it returns the process exit code.
+func runDiff(w io.Writer, oldPath, newPath string, tolPct, minNs float64, skip *regexp.Regexp) int {
+	oldArt, err := loadArtifact(oldPath)
+	if err != nil {
+		fmt.Fprintln(w, "benchfmt:", err)
+		return 1
+	}
+	newArt, err := loadArtifact(newPath)
+	if err != nil {
+		fmt.Fprintln(w, "benchfmt:", err)
+		return 1
+	}
+	fails := diffArtifacts(w, oldArt, newArt, tolPct, minNs, skip)
+	if fails > 0 {
+		fmt.Fprintf(w, "benchfmt: FAIL: %d regression(s) against %s (tolerance %.0f%% ns/op, zero allocs/op growth)\n",
+			fails, oldPath, tolPct)
+		return 1
+	}
+	fmt.Fprintf(w, "benchfmt: ok: %d pinned benchmark(s) within %.0f%% ns/op, no allocs/op growth\n",
+		len(oldArt.Benchmarks), tolPct)
+	return 0
+}

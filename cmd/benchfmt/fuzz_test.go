@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzBenchArtifact throws arbitrary bytes at the BENCH_*.json parser. The
+// contract is: error, never panic — the regression gate must fail loudly on
+// a corrupt baseline, not crash verify — and any artifact that parses must
+// survive a marshal/parse round trip (so the gate can both read committed
+// baselines and re-emit them).
+func FuzzBenchArtifact(f *testing.F) {
+	valid := `{"date":"2026-08-06","goos":"linux","goarch":"amd64","cpu":"x",` +
+		`"benchmarks":[{"package":"eefei/internal/fl","name":"BenchmarkRoundTable2",` +
+		`"procs":2,"iterations":5,"ns_per_op":46480418,"bytes_per_op":15617,"allocs_per_op":62}]}`
+	seeds := []string{
+		valid,
+		valid[:len(valid)/2],  // truncated mid-document
+		valid[:len(valid)-20], // truncated inside the record
+		`{"benchmarks":[{"name":"BenchmarkX","procs":1,"iterations":1,"ns_per_op":NaN}]}`,
+		`{"benchmarks":[{"name":"BenchmarkX","procs":1,"iterations":1,"ns_per_op":1e999}]}`,
+		`{"benchmarks":[{"name":"BenchmarkX","procs":-1,"iterations":1,"ns_per_op":1}]}`,
+		`{"benchmarks":[{"name":"BenchmarkX","procs":1,"iterations":1,"ns_per_op":-1}]}`,
+		`{"benchmarks":[]}`,
+		`{}`,
+		``,
+		`[]`,
+		`not json at all`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		art, err := parseArtifact(data)
+		if err != nil {
+			return // rejected malformed input: the desired outcome
+		}
+		if art == nil || len(art.Benchmarks) == 0 {
+			t.Fatalf("nil/empty artifact accepted without error")
+		}
+		out, err := json.Marshal(art)
+		if err != nil {
+			t.Fatalf("accepted artifact does not re-marshal: %v", err)
+		}
+		if _, err := parseArtifact(out); err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+	})
+}

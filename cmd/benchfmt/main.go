@@ -1,15 +1,22 @@
 // Command benchfmt converts the text output of `go test -bench -benchmem`
-// (read from stdin) into the repo's BENCH_<date>.json artifact: one record
+// (read from stdin) into the repo's BENCH_<date>.json artifact — one record
 // per benchmark with ns/op, B/op, and allocs/op, tagged with the package it
-// came from and the host metadata go test printed.
+// came from and the host metadata go test printed — and diffs two such
+// artifacts as the repo's bench regression gate.
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchfmt -date 2026-08-06
+//	go run ./cmd/benchfmt -diff BENCH_old.json BENCH_new.json -tol 10 -min-ns 100000
 //
-// The tool is line-oriented and tolerant: non-benchmark lines (test chatter,
-// PASS/ok footers) are skipped, so it can be fed the raw stream from several
-// packages in one run. scripts/bench.sh is the canonical driver.
+// In emit mode the tool is line-oriented and tolerant: non-benchmark lines
+// (test chatter, PASS/ok footers) are skipped, so it can be fed the raw
+// stream from several packages in one run. scripts/bench.sh is the
+// canonical driver.
+//
+// In -diff mode it exits non-zero when any benchmark pinned in the old
+// artifact regresses by more than -tol percent ns/op, increases allocs/op
+// at all, or is missing from the new artifact (policy in DESIGN.md §7).
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -49,8 +57,31 @@ type Artifact struct {
 }
 
 func main() {
-	date := flag.String("date", "", "date stamp for the artifact (default: today, YYYY-MM-DD)")
-	flag.Parse()
+	diffMode, paths, rest := splitDiffArgs(os.Args[1:])
+	fs := flag.NewFlagSet("benchfmt", flag.ExitOnError)
+	date := fs.String("date", "", "date stamp for the artifact (default: today, YYYY-MM-DD)")
+	tol := fs.Float64("tol", 10, "diff mode: max tolerated ns/op regression, percent")
+	minNs := fs.Float64("min-ns", 0, "diff mode: skip ns/op comparison when the baseline is below this many ns/op (allocs still gated)")
+	skipPat := fs.String("skip", "", "diff mode: regexp of benchmark labels exempt from the gate entirely (experiment harnesses with GC-dependent allocs)")
+	fs.Parse(rest)
+	if diffMode {
+		// Support both `-diff old new -tol 10` and `-diff -tol 10 old new`:
+		// paths the pre-scan didn't grab are left over as positionals.
+		paths = append(paths, fs.Args()...)
+		if len(paths) != 2 {
+			fmt.Fprintln(os.Stderr, "benchfmt: -diff needs exactly two artifact paths (old.json new.json)")
+			os.Exit(2)
+		}
+		var skip *regexp.Regexp
+		if *skipPat != "" {
+			var err error
+			if skip, err = regexp.Compile(*skipPat); err != nil {
+				fmt.Fprintln(os.Stderr, "benchfmt: bad -skip regexp:", err)
+				os.Exit(2)
+			}
+		}
+		os.Exit(runDiff(os.Stdout, paths[0], paths[1], *tol, *minNs, skip))
+	}
 	if *date == "" {
 		*date = time.Now().Format("2006-01-02")
 	}
@@ -72,6 +103,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfmt:", err)
 		os.Exit(1)
 	}
+}
+
+// splitDiffArgs pre-scans the argument list for -diff and pulls out the up
+// to two artifact paths that directly follow it, so the conventional
+// `benchfmt -diff old.json new.json -tol 10` order works even though the
+// stdlib flag package stops parsing at the first positional argument.
+func splitDiffArgs(args []string) (diffMode bool, paths, rest []string) {
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-diff" || args[i] == "--diff" {
+			diffMode = true
+			for len(paths) < 2 && i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") {
+				i++
+				paths = append(paths, args[i])
+			}
+			continue
+		}
+		rest = append(rest, args[i])
+	}
+	return diffMode, paths, rest
 }
 
 // parse consumes go test -bench output line by line. Header lines (goos:,

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// bench builds one artifact record with the repo's usual metadata shape.
+func bench(pkg, name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{
+		Package:     pkg,
+		Name:        name,
+		Procs:       2,
+		Iterations:  5,
+		NsPerOp:     ns,
+		BytesPerOp:  1024,
+		AllocsPerOp: allocs,
+	}
+}
+
+func artifactOf(benches ...Benchmark) *Artifact {
+	return &Artifact{Date: "test", Benchmarks: benches}
+}
+
+func TestDiffArtifactsGate(t *testing.T) {
+	base := artifactOf(
+		bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 62),
+		bench("eefei/internal/mat", "BenchmarkGEMM", 2_000_000, 4),
+	)
+	tests := []struct {
+		name      string
+		new       *Artifact
+		tol       float64
+		minNs     float64
+		skip      string // -skip regexp, empty = none
+		wantFails int
+		wantIn    string // substring the report must contain
+	}{
+		{
+			name: "improvement passes",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 40_000_000, 61),
+				bench("eefei/internal/mat", "BenchmarkGEMM", 1_500_000, 4),
+			),
+			tol: 10, wantFails: 0, wantIn: "ok   eefei/internal/fl.BenchmarkRoundTable2-2",
+		},
+		{
+			name: "regression within tolerance passes",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 48_000_000, 62),
+				bench("eefei/internal/mat", "BenchmarkGEMM", 2_100_000, 4),
+			),
+			tol: 10, wantFails: 0, wantIn: "ns/op +4.3%",
+		},
+		{
+			name: "regression over tolerance fails",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 55_200_000, 62), // +20%
+				bench("eefei/internal/mat", "BenchmarkGEMM", 2_000_000, 4),
+			),
+			tol: 10, wantFails: 1, wantIn: "FAIL eefei/internal/fl.BenchmarkRoundTable2-2: ns/op +20.0%",
+		},
+		{
+			name: "allocs increase always fails even at huge tolerance",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 63), // +1 alloc
+				bench("eefei/internal/mat", "BenchmarkGEMM", 2_000_000, 4),
+			),
+			tol: 1000, wantFails: 1, wantIn: "allocs/op 62 -> 63 (any increase fails)",
+		},
+		{
+			name: "missing benchmark fails with a clear message",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 62),
+			),
+			tol: 10, wantFails: 1,
+			wantIn: "FAIL eefei/internal/mat.BenchmarkGEMM-2: missing from new artifact",
+		},
+		{
+			name: "allocs data dropped from new artifact fails",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, -1),
+				bench("eefei/internal/mat", "BenchmarkGEMM", 2_000_000, 4),
+			),
+			tol: 10, wantFails: 1, wantIn: "absent from new artifact (run with -benchmem)",
+		},
+		{
+			name: "min-ns skips jittery micro-bench ns but still gates allocs",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 62),
+				bench("eefei/internal/mat", "BenchmarkGEMM", 4_000_000, 5), // +100% ns skipped, +1 alloc not
+			),
+			tol: 10, minNs: 10_000_000, wantFails: 1,
+			wantIn: "skip eefei/internal/mat.BenchmarkGEMM-2",
+		},
+		{
+			name: "skip regexp exempts harness bench from ns and allocs",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 62),
+				bench("eefei/internal/mat", "BenchmarkGEMM", 4_000_000, 5), // +100% ns, +1 alloc — both exempt
+			),
+			tol: 10, skip: "GEMM", wantFails: 0,
+			wantIn: "skip eefei/internal/mat.BenchmarkGEMM-2: excluded by -skip",
+		},
+		{
+			name: "skip regexp exempts missing benchmark from coverage rule",
+			new: artifactOf(
+				bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 62),
+			),
+			tol: 10, skip: "GEMM", wantFails: 0,
+			wantIn: "skip eefei/internal/mat.BenchmarkGEMM-2: excluded by -skip",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			var skip *regexp.Regexp
+			if tt.skip != "" {
+				skip = regexp.MustCompile(tt.skip)
+			}
+			fails := diffArtifacts(&buf, base, tt.new, tt.tol, tt.minNs, skip)
+			if fails != tt.wantFails {
+				t.Errorf("fails = %d, want %d\nreport:\n%s", fails, tt.wantFails, buf.String())
+			}
+			if !strings.Contains(buf.String(), tt.wantIn) {
+				t.Errorf("report missing %q:\n%s", tt.wantIn, buf.String())
+			}
+		})
+	}
+}
+
+// TestRunDiffExitCodes pins the acceptance contract end-to-end: a synthetic
+// 20%-ns/op regression and a +1 allocs/op change must both exit non-zero;
+// an identical artifact must exit zero.
+func TestRunDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, a *Artifact) string {
+		t.Helper()
+		data, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return path
+	}
+	base := write("old.json", artifactOf(bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 62)))
+	tests := []struct {
+		name string
+		new  *Artifact
+		want int
+	}{
+		{"identical", artifactOf(bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 62)), 0},
+		{"20pct ns regression", artifactOf(bench("eefei/internal/fl", "BenchmarkRoundTable2", 55_200_000, 62)), 1},
+		{"one alloc more", artifactOf(bench("eefei/internal/fl", "BenchmarkRoundTable2", 46_000_000, 63)), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			newPath := write("new.json", tt.new)
+			if got := runDiff(&buf, base, newPath, 10, 0, nil); got != tt.want {
+				t.Errorf("exit = %d, want %d\n%s", got, tt.want, buf.String())
+			}
+		})
+	}
+	t.Run("unreadable artifact exits nonzero", func(t *testing.T) {
+		var buf bytes.Buffer
+		if got := runDiff(&buf, base, filepath.Join(dir, "nope.json"), 10, 0, nil); got != 1 {
+			t.Errorf("exit = %d, want 1", got)
+		}
+	})
+}
+
+func TestParseArtifactRejectsDefects(t *testing.T) {
+	valid := `{"date":"d","benchmarks":[{"package":"p","name":"BenchmarkX","procs":2,"iterations":5,"ns_per_op":10,"bytes_per_op":0,"allocs_per_op":0}]}`
+	tests := []struct {
+		name    string
+		data    string
+		wantErr bool
+	}{
+		{"valid", valid, false},
+		{"truncated", valid[:len(valid)/2], true},
+		{"nan literal", `{"benchmarks":[{"name":"BenchmarkX","procs":1,"iterations":1,"ns_per_op":NaN}]}`, true},
+		{"no benchmarks", `{"date":"d","benchmarks":[]}`, true},
+		{"empty name", `{"benchmarks":[{"name":"","procs":1,"iterations":1,"ns_per_op":1}]}`, true},
+		{"zero iterations", `{"benchmarks":[{"name":"BenchmarkX","procs":1,"iterations":0,"ns_per_op":1}]}`, true},
+		{"negative ns", `{"benchmarks":[{"name":"BenchmarkX","procs":1,"iterations":1,"ns_per_op":-5}]}`, true},
+		{"zero procs", `{"benchmarks":[{"name":"BenchmarkX","procs":0,"iterations":1,"ns_per_op":1}]}`, true},
+		{"allocs below -1", `{"benchmarks":[{"name":"BenchmarkX","procs":1,"iterations":1,"ns_per_op":1,"allocs_per_op":-2}]}`, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := parseArtifact([]byte(tt.data))
+			if (err != nil) != tt.wantErr {
+				t.Errorf("parseArtifact err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSplitDiffArgs(t *testing.T) {
+	tests := []struct {
+		name      string
+		args      []string
+		wantDiff  bool
+		wantPaths []string
+		wantRest  []string
+	}{
+		{"issue order", []string{"-diff", "old.json", "new.json", "-tol", "10"},
+			true, []string{"old.json", "new.json"}, []string{"-tol", "10"}},
+		{"flags first", []string{"-diff", "-tol", "10", "old.json", "new.json"},
+			true, nil, []string{"-tol", "10", "old.json", "new.json"}},
+		{"emit mode", []string{"-date", "2026-08-06"},
+			false, nil, []string{"-date", "2026-08-06"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			diffMode, paths, rest := splitDiffArgs(tt.args)
+			if diffMode != tt.wantDiff {
+				t.Errorf("diffMode = %v, want %v", diffMode, tt.wantDiff)
+			}
+			if strings.Join(paths, " ") != strings.Join(tt.wantPaths, " ") {
+				t.Errorf("paths = %v, want %v", paths, tt.wantPaths)
+			}
+			if strings.Join(rest, " ") != strings.Join(tt.wantRest, " ") {
+				t.Errorf("rest = %v, want %v", rest, tt.wantRest)
+			}
+		})
+	}
+}
+
+// TestParseBenchText covers the emit-mode text parser, which previously had
+// no direct coverage.
+func TestParseBenchText(t *testing.T) {
+	raw := `goos: linux
+goarch: amd64
+pkg: eefei/internal/fl
+cpu: Intel(R) Xeon(R) CPU @ 2.60GHz
+BenchmarkRoundTable2
+BenchmarkRoundTable2-2   	       5	  46480418 ns/op	   15617 B/op	      62 allocs/op
+PASS
+ok  	eefei/internal/fl	2.1s
+pkg: eefei/internal/mat
+BenchmarkGEMM   	     100	     20000 ns/op
+`
+	art, err := parse(bufio.NewScanner(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(art.Benchmarks))
+	}
+	rt := art.Benchmarks[0]
+	if rt.Package != "eefei/internal/fl" || rt.Name != "BenchmarkRoundTable2" || rt.Procs != 2 ||
+		rt.NsPerOp != 46480418 || rt.AllocsPerOp != 62 || rt.BytesPerOp != 15617 {
+		t.Errorf("first record mangled: %+v", rt)
+	}
+	gm := art.Benchmarks[1]
+	if gm.Package != "eefei/internal/mat" || gm.AllocsPerOp != -1 || gm.BytesPerOp != -1 {
+		t.Errorf("no-benchmem record mangled: %+v", gm)
+	}
+}

@@ -54,9 +54,14 @@ func run(args []string) error {
 		retries      = fs.Int("retries", 0, "listen retry attempts if the address is busy (0 = fail fast)")
 		retryBase    = fs.Duration("retry-base", 500*time.Millisecond, "initial listen retry backoff")
 		retryMax     = fs.Duration("retry-max", 5*time.Second, "listen retry backoff cap")
+		trace        = fs.String("trace", "", "write per-round phase timings as JSON lines to this file")
+		traceMem     = fs.Bool("trace-mem", false, "sample runtime.MemStats per round into the trace (requires -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceMem && *trace == "" {
+		return fmt.Errorf("-trace-mem requires -trace")
 	}
 
 	// The coordinator regenerates the same synthetic universe the edges use
@@ -121,6 +126,18 @@ func run(args []string) error {
 	}
 	defer coord.Shutdown()
 
+	var tw *fl.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		defer f.Close()
+		tw = fl.NewTraceWriter(f)
+		coord.SetRoundObserver(tw)
+		coord.SetMemSampling(*traceMem)
+	}
+
 	fmt.Printf("fedcoord: listening on %s, waiting for %d edge servers…\n", coord.Addr(), *servers)
 	if err := coord.WaitForClients(ctx, *servers); err != nil {
 		return fmt.Errorf("waiting for fleet: %w", err)
@@ -159,5 +176,11 @@ func run(args []string) error {
 	last := history[len(history)-1]
 	fmt.Printf("fedcoord: done after %d rounds in %v; final accuracy %.4f\n",
 		len(history), time.Since(start).Round(time.Millisecond), last.TestAccuracy)
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("fedcoord: trace: %d rounds written to %s\n", tw.Lines(), *trace)
+	}
 	return nil
 }

@@ -35,9 +35,14 @@ func run(args []string) error {
 		maxRounds = fs.Int("max-rounds", 0, "round cap (0 = scale default)")
 		collect   = fs.Bool("collect", false, "pay IoT data-collection energy each round")
 		seed      = fs.Uint64("seed", 1, "run seed")
+		trace     = fs.String("trace", "", "write per-round phase timings as JSON lines to this file")
+		traceMem  = fs.Bool("trace-mem", false, "sample runtime.MemStats per round into the trace (requires -trace; slows rounds)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceMem && *trace == "" {
+		return fmt.Errorf("-trace-mem requires -trace")
 	}
 
 	scale, err := experiments.ParseScale(*scaleName)
@@ -71,12 +76,29 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tw *fl.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		defer f.Close()
+		tw = fl.NewTraceWriter(f)
+		system.Engine().SetRoundObserver(tw)
+		system.Engine().SetMemSampling(*traceMem)
+	}
 	fmt.Printf("feisim: %v scale, N=%d servers, K=%d, E=%d, n̄=%d, target %.2f\n",
 		scale, setup.Servers, *k, *e, setup.SamplesPerServer(), *target)
 
 	res, err := system.Run(fl.AnyOf(fl.TargetAccuracy(*target), fl.MaxRounds(*maxRounds)))
 	if err != nil {
 		return err
+	}
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace: %d rounds written to %s\n", tw.Lines(), *trace)
 	}
 
 	hit := experiments.RoundsToAccuracy(res.History, *target)

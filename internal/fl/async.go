@@ -102,11 +102,13 @@ type AsyncUpdate struct {
 // model with a staleness discount. Completion order is drawn from the
 // engine's RNG, so runs are deterministic per seed.
 type AsyncEngine struct {
-	cfg    AsyncConfig
-	shards []*dataset.Dataset
-	global *ml.Model
-	test   *dataset.Dataset
-	rng    *mat.RNG
+	cfg       AsyncConfig
+	shards    []*dataset.Dataset
+	global    *ml.Model
+	test      *dataset.Dataset
+	rng       *mat.RNG
+	roundObs  RoundObserver
+	sampleMem bool
 
 	// inflight holds, per busy client, the global version it started from.
 	inflight map[int]int
@@ -155,10 +157,24 @@ func (e *AsyncEngine) Version() int { return e.version }
 // History returns all update records.
 func (e *AsyncEngine) History() []AsyncUpdate { return e.history }
 
+// SetRoundObserver attaches (or, with nil, detaches) a per-step
+// observability sink. Each Step emits one RoundStats whose Round field is
+// the step ordinal; a staleness-dropped update reports Dropped=1 and skips
+// the train/aggregate/evaluate phases. Must not be called mid-Step.
+func (e *AsyncEngine) SetRoundObserver(o RoundObserver) { e.roundObs = o }
+
+// SetMemSampling toggles per-step memstats sampling (observed steps only).
+func (e *AsyncEngine) SetMemSampling(on bool) { e.sampleMem = on }
+
 // Step processes one completion: if no trainings are in flight, it first
 // dispatches every idle client (all clients train continuously in the
 // async model), then completes one uniformly at random.
 func (e *AsyncEngine) Step() (AsyncUpdate, error) {
+	obs := e.roundObs
+	var pc PhaseClock
+	if obs != nil {
+		pc = NewPhaseClock(e.sampleMem)
+	}
 	// Keep every client busy: dispatch idle clients at the current version.
 	for c := range e.shards {
 		if _, busy := e.inflight[c]; !busy {
@@ -184,9 +200,19 @@ func (e *AsyncEngine) Step() (AsyncUpdate, error) {
 		TestAccuracy: math.NaN(),
 	}
 
+	if obs != nil {
+		pc.Lap(PhaseSelect)
+	}
+
 	if e.cfg.MaxStaleness > 0 && staleness > e.cfg.MaxStaleness {
 		upd.Step = e.version
 		e.history = append(e.history, upd)
+		if obs != nil {
+			st := pc.Finish(len(e.history) - 1)
+			st.Workers = 1
+			st.Dropped = 1
+			obs.ObserveRound(st)
+		}
 		return upd, nil
 	}
 
@@ -212,6 +238,9 @@ func (e *AsyncEngine) Step() (AsyncUpdate, error) {
 	if _, err := sgd.Train(local, e.shards[client], e.cfg.LocalEpochs); err != nil {
 		return AsyncUpdate{}, fmt.Errorf("async client %d: %w", client, err)
 	}
+	if obs != nil {
+		pc.Lap(PhaseTrain)
+	}
 
 	alpha := e.cfg.MixWeight / float64(staleness+1)
 	// ω ← (1−α)ω + α·ω_k
@@ -220,6 +249,9 @@ func (e *AsyncEngine) Step() (AsyncUpdate, error) {
 		return AsyncUpdate{}, fmt.Errorf("async mix: %w", err)
 	}
 	e.version++
+	if obs != nil {
+		pc.Lap(PhaseAggregate)
+	}
 
 	upd.Applied = true
 	upd.MixWeight = alpha
@@ -237,7 +269,15 @@ func (e *AsyncEngine) Step() (AsyncUpdate, error) {
 		}
 		upd.TestAccuracy = acc
 	}
+	if obs != nil {
+		pc.Lap(PhaseEvaluate)
+	}
 	e.history = append(e.history, upd)
+	if obs != nil {
+		st := pc.Finish(len(e.history) - 1)
+		st.Workers = 1
+		obs.ObserveRound(st)
+	}
 	return upd, nil
 }
 

@@ -36,6 +36,11 @@ func BenchmarkRoundTable2(b *testing.B) {
 	if err != nil {
 		b.Fatalf("NewEngine: %v", err)
 	}
+	// Warmup round: fills scratch and the runtime's goroutine free lists so
+	// allocs/op is the steady-state figure BENCH_*.json pins.
+	if _, err := engine.Round(); err != nil {
+		b.Fatalf("warmup Round: %v", err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -54,6 +59,9 @@ func BenchmarkRoundMiniBatch(b *testing.B) {
 	}, shards)
 	if err != nil {
 		b.Fatalf("NewEngine: %v", err)
+	}
+	if _, err := engine.Round(); err != nil { // warmup: steady-state allocs
+		b.Fatalf("warmup Round: %v", err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

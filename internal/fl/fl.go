@@ -172,6 +172,8 @@ type Engine struct {
 	selector     Selector
 	agg          Aggregator
 	observer     Observer
+	roundObs     RoundObserver
+	sampleMem    bool
 	rng          *mat.RNG
 	parallel     int
 	evalParallel int
@@ -217,6 +219,20 @@ func WithAggregator(a Aggregator) Option {
 // WithObserver registers a per-round callback.
 func WithObserver(o Observer) Option {
 	return func(e *Engine) { e.observer = o }
+}
+
+// WithRoundObserver attaches a per-round observability sink (phase timings,
+// throughput, pool occupancy — see RoundStats). Nil detaches; with no
+// observer the round loop takes no timestamps at all.
+func WithRoundObserver(o RoundObserver) Option {
+	return func(e *Engine) { e.roundObs = o }
+}
+
+// WithMemSampling opts the engine into sampling runtime.ReadMemStats around
+// every observed round, filling RoundStats.Mallocs/AllocBytes. It has no
+// effect without a RoundObserver.
+func WithMemSampling() Option {
+	return func(e *Engine) { e.sampleMem = true }
 }
 
 // WithParallelism caps concurrent local-training workers; 1 forces
@@ -299,6 +315,14 @@ func (e *Engine) Rounds() int { return e.round }
 // History returns the accumulated round records.
 func (e *Engine) History() []RoundRecord { return e.history }
 
+// SetRoundObserver attaches (or, with nil, detaches) the per-round
+// observability sink after construction — cmd/feisim uses this to wire its
+// -trace flag through the simulator. Must not be called while Round runs.
+func (e *Engine) SetRoundObserver(o RoundObserver) { e.roundObs = o }
+
+// SetMemSampling toggles per-round memstats sampling (see WithMemSampling).
+func (e *Engine) SetMemSampling(on bool) { e.sampleMem = on }
+
 // Shards returns the number of edge servers.
 func (e *Engine) Shards() int { return len(e.shards) }
 
@@ -310,9 +334,13 @@ func (e *Engine) currentLR() float64 {
 	return e.cfg.LearningRate * math.Pow(e.cfg.Decay, float64(e.round))
 }
 
-// localResult carries one client's round output.
+// localResult carries one client's round output. worker records which pool
+// worker trained the slot — observability only (WorkerClaims); it costs
+// nothing to track, unlike a shared counter, which would have to be heap-
+// allocated into the pool closure even on unobserved rounds.
 type localResult struct {
 	client int
+	worker int
 	model  *ml.Model
 	loss   float64
 	err    error
@@ -327,6 +355,14 @@ type localResult struct {
 // leaves the engine exactly as it was, so callers can retry or abort
 // without inheriting a half-advanced state.
 func (e *Engine) Round() (RoundRecord, error) {
+	// Observability is pay-for-use: with no observer attached the round
+	// takes no timestamps and allocates nothing extra.
+	obs := e.roundObs
+	var pc PhaseClock
+	if obs != nil {
+		pc = NewPhaseClock(e.sampleMem)
+	}
+
 	selected := e.selector.Select(e.rng, len(e.shards), e.cfg.ClientsPerRound, e.round)
 	lr := e.currentLR()
 	e.ensureRoundScratch(len(selected))
@@ -341,6 +377,9 @@ func (e *Engine) Round() (RoundRecord, error) {
 	workers := e.parallel
 	if workers > len(selected) {
 		workers = len(selected)
+	}
+	if obs != nil {
+		pc.Lap(PhaseSelect)
 	}
 	if workers <= 1 {
 		for i, c := range selected {
@@ -364,11 +403,27 @@ func (e *Engine) Round() (RoundRecord, error) {
 		}
 		wg.Wait()
 	}
+	// claims[w] counts the selection slots worker w trained — the pool
+	// occupancy an observer sees. Built after the pool from the per-slot
+	// worker tags so nothing observer-related is captured by (and therefore
+	// heap-allocated into) the worker closure on unobserved rounds.
+	var claims []int
+	if obs != nil {
+		claims = make([]int, workers)
+		for i := range results {
+			if results[i].err == nil {
+				claims[results[i].worker]++
+			}
+		}
+	}
 
 	for _, r := range results {
 		if r.err != nil {
 			return RoundRecord{}, fmt.Errorf("round %d client %d: %w", e.round, r.client, r.err)
 		}
+	}
+	if obs != nil {
+		pc.Lap(PhaseTrain)
 	}
 
 	// Aggregate (default: ω_{t+1} = (1/K) Σ ω_{k,t}, paper Eq. 2) into the
@@ -379,6 +434,9 @@ func (e *Engine) Round() (RoundRecord, error) {
 	}
 	if err := e.agg.Aggregate(e.aggScratch, updates); err != nil {
 		return RoundRecord{}, fmt.Errorf("round %d: %w", e.round, err)
+	}
+	if obs != nil {
+		pc.Lap(PhaseAggregate)
 	}
 
 	rec := RoundRecord{
@@ -408,6 +466,9 @@ func (e *Engine) Round() (RoundRecord, error) {
 		}
 		rec.TestAccuracy = acc
 	}
+	if obs != nil {
+		pc.Lap(PhaseEvaluate)
+	}
 
 	// Commit model, round counter, and history together.
 	if err := e.global.CopyFrom(e.aggScratch); err != nil {
@@ -417,6 +478,12 @@ func (e *Engine) Round() (RoundRecord, error) {
 	e.history = append(e.history, rec)
 	if e.observer != nil {
 		e.observer(rec)
+	}
+	if obs != nil {
+		st := pc.Finish(rec.Round)
+		st.Workers = workers
+		st.WorkerClaims = claims
+		obs.ObserveRound(st)
 	}
 	return rec, nil
 }
@@ -450,7 +517,7 @@ func (e *Engine) ensureRoundScratch(k int) {
 func (e *Engine) trainLocal(w, slot, client int, lr float64) localResult {
 	local := e.localModels[slot]
 	if err := local.CopyFrom(e.global); err != nil {
-		return localResult{client: client, err: err}
+		return localResult{client: client, worker: w, err: err}
 	}
 	cfg := ml.SGDConfig{
 		LearningRate: lr,
@@ -467,7 +534,7 @@ func (e *Engine) trainLocal(w, slot, client int, lr float64) localResult {
 		err = e.sgds[w].Reset(cfg)
 	}
 	if err != nil {
-		return localResult{client: client, err: err}
+		return localResult{client: client, worker: w, err: err}
 	}
 	sgd := e.sgds[w]
 	if e.cfg.ProximalMu > 0 {
@@ -476,9 +543,9 @@ func (e *Engine) trainLocal(w, slot, client int, lr float64) localResult {
 	}
 	loss, err := sgd.TrainFinal(local, e.shards[client], e.cfg.LocalEpochs)
 	if err != nil {
-		return localResult{client: client, err: err}
+		return localResult{client: client, worker: w, err: err}
 	}
-	return localResult{client: client, model: local, loss: loss}
+	return localResult{client: client, worker: w, model: local, loss: loss}
 }
 
 // GlobalLoss evaluates the global objective F(ω) = Σ_k (n_k/n)·F_k(ω) over
@@ -491,9 +558,11 @@ func (e *Engine) GlobalLoss() (float64, error) {
 // evalParallel workers each own an Evaluator (reusing its scratch across
 // rounds) and claim whole shards statically; the weighted per-shard losses
 // are reduced in shard order, so the value is bit-identical for every
-// worker count.
+// worker count. A min-work spawn gate (ml.GatedWorkers, à la
+// mat.minRowsPerWorker) keeps tiny-shard evaluations sequential, where
+// goroutine overhead would dominate the row work.
 func (e *Engine) globalLossOf(m *ml.Model) (float64, error) {
-	workers := e.evalParallel
+	workers := ml.GatedWorkers(e.totalSamples, e.evalParallel)
 	if workers > len(e.shards) {
 		workers = len(e.shards)
 	}

@@ -89,6 +89,8 @@ type Coordinator struct {
 	rejoins   int // re-registrations since the last completed round
 	accepting bool
 	down      bool
+	roundObs  fl.RoundObserver
+	sampleMem bool
 }
 
 // NewCoordinator wraps an already-open listener. The caller keeps ownership
@@ -141,6 +143,25 @@ func (c *Coordinator) History() []fl.RoundRecord {
 	out := make([]fl.RoundRecord, len(c.history))
 	copy(out, c.history)
 	return out
+}
+
+// SetRoundObserver attaches (or, with nil, detaches) a per-round
+// observability sink. Networked rounds report the paper-phase timings with
+// PhaseTrain covering the full request/reply exchange (local training plus
+// both network legs), and fill the Dropped/Rejoins/Retries fault telemetry.
+// Safe to call between rounds; a round in flight keeps the observer it
+// started with.
+func (c *Coordinator) SetRoundObserver(o fl.RoundObserver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roundObs = o
+}
+
+// SetMemSampling toggles per-round memstats sampling for observed rounds.
+func (c *Coordinator) SetMemSampling(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sampleMem = on
 }
 
 // Connected returns how many roster slots currently hold a live connection.
@@ -351,6 +372,11 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		conn net.Conn
 	}
 	c.mu.Lock()
+	obs := c.roundObs
+	var pc fl.PhaseClock
+	if obs != nil {
+		pc = fl.NewPhaseClock(c.sampleMem)
+	}
 	alive := make([]int, 0, len(c.clients))
 	for _, cl := range c.clients {
 		if cl.connected {
@@ -387,6 +413,9 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	reqPayload, err := encodeTrainRequest(req)
 	if err != nil {
 		return fl.RoundRecord{}, err
+	}
+	if obs != nil {
+		pc.Lap(fl.PhaseSelect)
 	}
 
 	type outcome struct {
@@ -492,6 +521,9 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		}
 		c.mu.Unlock()
 	}
+	if obs != nil {
+		pc.Lap(fl.PhaseTrain)
+	}
 
 	// Aggregate per Eq. (2) over the survivors.
 	agg := ml.NewModel(c.cfg.Classes, c.cfg.Features, globalSnapshot.Act)
@@ -499,6 +531,9 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		if err := agg.AddScaled(1/float64(len(ok)), r.rep.Model); err != nil {
 			return fl.RoundRecord{}, fmt.Errorf("round %d aggregate: %w", round, err)
 		}
+	}
+	if obs != nil {
+		pc.Lap(fl.PhaseAggregate)
 	}
 
 	survivors := make([]int, len(ok))
@@ -536,6 +571,9 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		}
 		rec.TestAccuracy = acc
 	}
+	if obs != nil {
+		pc.Lap(fl.PhaseEvaluate)
+	}
 
 	c.mu.Lock()
 	rec.Rejoins = c.rejoins
@@ -544,6 +582,14 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	c.round++
 	c.history = append(c.history, rec)
 	c.mu.Unlock()
+	if obs != nil {
+		st := pc.Finish(rec.Round)
+		st.Workers = len(targets)
+		st.Dropped = len(rec.Dropped)
+		st.Rejoins = rec.Rejoins
+		st.Retries = rec.Retries
+		obs.ObserveRound(st)
+	}
 	return rec, nil
 }
 

@@ -111,7 +111,11 @@ func BenchmarkGEMM(b *testing.B) {
 		dst := NewDense(n, n)
 		for _, workers := range []int{1, 4} {
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				if err := MulWorkers(dst, a, c, workers); err != nil { // warmup
+					b.Fatalf("warmup MulWorkers: %v", err)
+				}
 				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := MulWorkers(dst, a, c, workers); err != nil {
 						b.Fatalf("MulWorkers: %v", err)
@@ -132,7 +136,11 @@ func BenchmarkMatVec(b *testing.B) {
 	}
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			if err := m.MulVecWorkers(dst, x, workers); err != nil { // warmup
+				b.Fatalf("warmup MulVecWorkers: %v", err)
+			}
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := m.MulVecWorkers(dst, x, workers); err != nil {
 					b.Fatalf("MulVecWorkers: %v", err)

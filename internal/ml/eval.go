@@ -14,6 +14,29 @@ import (
 // chunks. Changing it changes last-bit rounding of Loss.
 const evalChunk = 256
 
+// MinEvalRowsPerWorker is the spawn gate for evaluation fan-out: a parallel
+// pass only spawns as many workers as leave each at least this many rows,
+// mirroring mat's minRowsPerWorker. One evaluated row costs roughly a
+// classes×features dot-product block — far less than a goroutine spawn —
+// so small datasets (and small federated shards) evaluate sequentially.
+// The gate only changes scheduling, never results: chunk/shard-order
+// reduction keeps every worker count bit-identical.
+const MinEvalRowsPerWorker = 512
+
+// GatedWorkers caps a requested evaluation worker count so that each worker
+// gets at least MinEvalRowsPerWorker of the rows, never returning less
+// than 1. fl's shard-parallel global loss and the Evaluator's chunk
+// fan-out share this gate.
+func GatedWorkers(rows, workers int) int {
+	if max := rows / MinEvalRowsPerWorker; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
 // Evaluator computes dataset-level metrics (loss, accuracy) with reusable
 // per-worker scratch buffers and optional data parallelism. The zero worker
 // count evaluates inline on the calling goroutine.
@@ -111,7 +134,7 @@ func (ev *Evaluator) chunkWorker(w, workers int) {
 func (ev *Evaluator) run(m *Model, d *dataset.Dataset, pass evalPass) error {
 	ev.m, ev.d, ev.pass = m, d, pass
 	chunks := len(ev.sums)
-	workers := ev.workers
+	workers := GatedWorkers(d.Len(), ev.workers)
 	if workers > chunks {
 		workers = chunks
 	}

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"eefei/internal/dataset"
@@ -163,6 +164,9 @@ func BenchmarkEvaluatorLoss(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
 			ev := NewEvaluator(workers)
+			if _, err := ev.Loss(m, d); err != nil { // warmup: scratch + goroutine reuse
+				b.Fatalf("warmup Loss: %v", err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -191,6 +195,59 @@ func BenchmarkSGDEpochMiniBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sgd.Epoch(m, d); err != nil {
 			b.Fatalf("Epoch: %v", err)
+		}
+	}
+}
+
+func TestGatedWorkers(t *testing.T) {
+	tests := []struct {
+		name          string
+		rows, workers int
+		want          int
+	}{
+		{"tiny dataset forces sequential", 100, 8, 1},
+		{"just below one quota", MinEvalRowsPerWorker - 1, 4, 1},
+		{"exactly one quota", MinEvalRowsPerWorker, 4, 1},
+		{"two quotas cap at two", 2 * MinEvalRowsPerWorker, 8, 2},
+		{"request below cap is kept", 10 * MinEvalRowsPerWorker, 3, 3},
+		{"zero workers clamps to one", 10 * MinEvalRowsPerWorker, 0, 1},
+		{"zero rows clamps to one", 0, 8, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := GatedWorkers(tt.rows, tt.workers); got != tt.want {
+				t.Errorf("GatedWorkers(%d, %d) = %d, want %d", tt.rows, tt.workers, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestEvaluatorSpawnGateBitIdentical pins that the min-work gate is pure
+// scheduling: on a dataset small enough to be forced sequential, a
+// many-worker Evaluator returns the exact bits of the one-worker result.
+func TestEvaluatorSpawnGateBitIdentical(t *testing.T) {
+	cfg := dataset.QuickSyntheticConfig()
+	cfg.Samples = 300 // below MinEvalRowsPerWorker: gate forces 1 worker
+	d, err := dataset.Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	m := NewModel(d.Classes, d.Dim(), Softmax)
+	rng := mat.NewRNG(7)
+	for i := range m.W.RawData() {
+		m.W.RawData()[i] = 0.05 * rng.Norm()
+	}
+	want, err := NewEvaluator(1).Loss(m, d)
+	if err != nil {
+		t.Fatalf("sequential Loss: %v", err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		got, err := NewEvaluator(workers).Loss(m, d)
+		if err != nil {
+			t.Fatalf("Loss(workers=%d): %v", workers, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("workers=%d: loss %v differs bit-wise from sequential %v", workers, got, want)
 		}
 	}
 }
