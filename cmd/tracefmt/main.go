@@ -1,0 +1,155 @@
+// Command tracefmt summarizes a per-round JSONL trace produced by the
+// engines' -trace flag (cmd/feisim, cmd/fedcoord; schema in DESIGN.md §7):
+// per-phase wall-clock totals and shares, p50/p99 phase latencies, and the
+// sustained round throughput. It is the quick answer to "where do my rounds
+// spend their time" — e.g. whether evaluation still dominates after a change.
+//
+// Usage:
+//
+//	go run ./cmd/tracefmt out.jsonl
+//	go run ./cmd/feisim -trace /dev/stdout ... | go run ./cmd/tracefmt
+//
+// With no argument the trace is read from stdin. Records are one JSON object
+// per line; blank lines are skipped, anything else malformed is a hard error
+// with its line number.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"eefei/internal/fl"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracefmt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracefmt [trace.jsonl]")
+		os.Exit(2)
+	}
+	if err := summarize(os.Stdout, in); err != nil {
+		fmt.Fprintf(os.Stderr, "tracefmt: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+var errEmptyTrace = errors.New("no trace records")
+
+// phaseNames orders the summary rows; "other" is the commit/bookkeeping
+// remainder Total accumulates beyond the four measured phases.
+var phaseNames = []string{"select", "train", "aggregate", "evaluate", "other"}
+
+// summarize reads a JSONL round trace from r and writes the phase-share
+// report to w.
+func summarize(w io.Writer, r io.Reader) error {
+	stats, err := readTrace(r)
+	if err != nil {
+		return err
+	}
+	n := len(stats)
+	perPhase := make(map[string][]time.Duration, len(phaseNames))
+	var grand time.Duration
+	totals := make(map[string]time.Duration, len(phaseNames))
+	var dropped, retries int
+	for _, s := range stats {
+		phased := time.Duration(0)
+		for p := fl.PhaseSelect; p <= fl.PhaseEvaluate; p++ {
+			d := s.PhaseDuration(p)
+			perPhase[p.String()] = append(perPhase[p.String()], d)
+			totals[p.String()] += d
+			phased += d
+		}
+		other := s.Total - phased
+		if other < 0 {
+			other = 0
+		}
+		perPhase["other"] = append(perPhase["other"], other)
+		totals["other"] += other
+		grand += s.Total
+		dropped += s.Dropped
+		retries += s.Retries
+	}
+
+	fmt.Fprintf(w, "rounds:     %d\n", n)
+	fmt.Fprintf(w, "wall clock: %s\n", grand)
+	if grand > 0 {
+		fmt.Fprintf(w, "throughput: %.2f rounds/sec\n", float64(n)/grand.Seconds())
+	}
+	if dropped > 0 || retries > 0 {
+		fmt.Fprintf(w, "faults:     %d dropped, %d retried\n", dropped, retries)
+	}
+	fmt.Fprintf(w, "\n%-10s %14s %7s %14s %14s\n", "phase", "total", "share", "p50", "p99")
+	for _, name := range phaseNames {
+		ds := perPhase[name]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(totals[name]) / float64(grand)
+		}
+		fmt.Fprintf(w, "%-10s %14s %6.1f%% %14s %14s\n",
+			name, totals[name], share, percentile(ds, 50), percentile(ds, 99))
+	}
+	return nil
+}
+
+// readTrace decodes one RoundStats per non-blank line, reporting the line
+// number of the first malformed record.
+func readTrace(r io.Reader) ([]fl.RoundStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var stats []fl.RoundStats
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var s fl.RoundStats
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		stats = append(stats, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stats) == 0 {
+		return nil, errEmptyTrace
+	}
+	return stats, nil
+}
+
+// percentile returns the nearest-rank p-th percentile of the sorted
+// durations: the smallest element with at least p% of the sample at or below
+// it — the same convention most latency dashboards use, and exact (no
+// interpolation) so golden outputs are stable.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

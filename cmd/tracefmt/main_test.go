@@ -1,0 +1,91 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSummarizeGolden pins the report for the checked-in trace (a real
+// 12-round feisim-style run captured via fl.TraceWriter).
+func TestSummarizeGolden(t *testing.T) {
+	trace, err := os.Open("testdata/sample_trace.jsonl")
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer trace.Close()
+	want, err := os.ReadFile("testdata/sample_trace.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var out strings.Builder
+	if err := summarize(&out, trace); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("summary differs from golden.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestSummarizeRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	for _, in := range []string{"", "\n\n  \n"} {
+		if err := summarize(&out, strings.NewReader(in)); !errors.Is(err, errEmptyTrace) {
+			t.Errorf("empty input %q = %v, want errEmptyTrace", in, err)
+		}
+	}
+}
+
+func TestSummarizeReportsBadLineNumber(t *testing.T) {
+	in := `{"round":0,"total_ns":10}
+
+not json at all`
+	var out strings.Builder
+	err := summarize(&out, strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("malformed line error = %v, want mention of line 3", err)
+	}
+}
+
+func TestSummarizeSingleRound(t *testing.T) {
+	// 1µs select + 5µs train inside a 10µs total: "other" absorbs the 4µs
+	// remainder and shares sum to 100%.
+	in := `{"round":0,"select_ns":1000,"train_ns":5000,"aggregate_ns":0,"evaluate_ns":0,"total_ns":10000,"rounds_per_sec":100000}`
+	var out strings.Builder
+	if err := summarize(&out, strings.NewReader(in)); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"rounds:     1",
+		"wall clock: 10µs",
+		"throughput: 100000.00 rounds/sec",
+		"train", "50.0%",
+		"other", "40.0%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	ds := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{{50, 5}, {99, 10}, {100, 10}, {1, 1}, {10, 1}, {11, 2}}
+	for _, c := range cases {
+		if got := percentile(ds, c.p); got != c.want {
+			t.Errorf("p%d of 1..10 = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{7}, 99); got != 7 {
+		t.Errorf("p99 of singleton = %v, want 7", got)
+	}
+}

@@ -3,6 +3,7 @@ package energy
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"eefei/internal/mat"
@@ -142,11 +143,24 @@ func (l *Ledger) Rounds() int { return l.rounds }
 // Phase returns the accumulated joules for one phase.
 func (l *Ledger) Phase(p Phase) float64 { return l.joules[p] }
 
-// Total returns the accumulated joules across all phases.
+// Total returns the accumulated joules across all phases. Phases are summed
+// in a fixed order (canonical Phases first, any other keys ascending):
+// ranging over the map directly would randomize the float addition order and
+// make the last bits of the total differ between identical runs.
 func (l *Ledger) Total() float64 {
 	var t float64
-	for _, j := range l.joules {
-		t += j
+	for _, p := range Phases {
+		t += l.joules[p]
+	}
+	var extras []Phase
+	for p := range l.joules {
+		if !slices.Contains(Phases, p) {
+			extras = append(extras, p)
+		}
+	}
+	slices.Sort(extras)
+	for _, p := range extras {
+		t += l.joules[p]
 	}
 	return t
 }

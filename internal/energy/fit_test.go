@@ -141,3 +141,32 @@ func TestLedger(t *testing.T) {
 		t.Error("String must render")
 	}
 }
+
+// TestLedgerTotalDeterministic pins that Total sums phases in a fixed order.
+// The phase values are chosen so that float addition order changes the last
+// bits; ranging over the map (whose iteration order is randomized per range)
+// would make repeated Total calls on one ledger disagree — the bug that made
+// same-config simulations differ in their energy totals.
+func TestLedgerTotalDeterministic(t *testing.T) {
+	l := NewLedger()
+	l.Add(PhaseWaiting, 1e16)
+	l.Add(PhaseDownload, 1.1)
+	l.Add(PhaseTrain, -1e16)
+	l.Add(PhaseUpload, 0.3)
+	want := ((l.Phase(PhaseWaiting) + l.Phase(PhaseDownload)) + l.Phase(PhaseTrain)) + l.Phase(PhaseUpload)
+	for i := 0; i < 100; i++ {
+		if got := l.Total(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("call %d: Total = %x, want canonical-order sum %x",
+				i, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	// Out-of-enum phases still count, after the canonical four.
+	l.Add(Phase(99), 2.5)
+	l.Add(Phase(42), 1.5)
+	want = ((want + l.Phase(Phase(42))) + l.Phase(Phase(99)))
+	for i := 0; i < 100; i++ {
+		if got := l.Total(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("call %d with extras: Total = %v, want %v", i, got, want)
+		}
+	}
+}

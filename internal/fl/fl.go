@@ -157,8 +157,9 @@ type Observer func(RoundRecord)
 //
 // The per-round hot path is allocation-free after the first round: local
 // training runs on a bounded worker pool whose per-slot scratch models and
-// per-worker optimizers (each owning its gradient accumulator, probability
-// scratch, shuffle buffer, and RNG stream) are reused round over round, the
+// per-worker optimizers (each owning its gradient accumulator, batched-
+// forward chunk scratch, shuffle buffer, and RNG stream) are reused round
+// over round, the
 // aggregate lands in a scratch model that is committed only when the whole
 // round — including evaluation — succeeds, and global loss / test accuracy
 // are computed by a shard-parallel map-reduce over per-worker evaluators.
@@ -555,8 +556,9 @@ func (e *Engine) GlobalLoss() (float64, error) {
 }
 
 // globalLossOf runs the shard-parallel map-reduce for F(ω): up to
-// evalParallel workers each own an Evaluator (reusing its scratch across
-// rounds) and claim whole shards statically; the weighted per-shard losses
+// evalParallel workers each own an Evaluator (whose chunk-GEMM forward
+// scratch is reused across rounds) and claim whole shards statically; the
+// weighted per-shard losses
 // are reduced in shard order, so the value is bit-identical for every
 // worker count. A min-work spawn gate (ml.GatedWorkers, à la
 // mat.minRowsPerWorker) keeps tiny-shard evaluations sequential, where

@@ -76,11 +76,12 @@ type clientConn struct {
 // the run), and drives synchronous rounds that tolerate mid-round client
 // failures.
 type Coordinator struct {
-	cfg    CoordinatorConfig
-	ln     net.Listener
-	global *ml.Model
-	test   *dataset.Dataset
-	rng    *mat.RNG
+	cfg      CoordinatorConfig
+	ln       net.Listener
+	global   *ml.Model
+	test     *dataset.Dataset
+	testEval *ml.Evaluator // owns the batched-forward scratch reused across rounds
+	rng      *mat.RNG
 
 	mu        sync.Mutex
 	clients   []*clientConn
@@ -118,11 +119,12 @@ func NewCoordinator(cfg CoordinatorConfig, ln net.Listener, test *dataset.Datase
 		act = ml.Softmax
 	}
 	return &Coordinator{
-		cfg:    cfg,
-		ln:     ln,
-		global: ml.NewModel(cfg.Classes, cfg.Features, act),
-		test:   test,
-		rng:    mat.NewRNG(cfg.FL.Seed),
+		cfg:      cfg,
+		ln:       ln,
+		global:   ml.NewModel(cfg.Classes, cfg.Features, act),
+		test:     test,
+		testEval: ml.NewEvaluator(1),
+		rng:      mat.NewRNG(cfg.FL.Seed),
 	}, nil
 }
 
@@ -565,7 +567,11 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	// clients' final local losses as its training-loss proxy.
 	rec.TrainLoss = lossSum / float64(len(ok))
 	if c.test != nil {
-		acc, err := ml.Accuracy(agg, c.test)
+		// The evaluator reuses its chunk scratch round over round, keeping
+		// warm rounds allocation-free where ml.Accuracy would allocate a
+		// predictions slice and logits block per call. Bit-identical: hit
+		// counts are integers, reduced in chunk order.
+		acc, err := c.testEval.Accuracy(agg, c.test)
 		if err != nil {
 			return fl.RoundRecord{}, fmt.Errorf("round %d accuracy: %w", round, err)
 		}

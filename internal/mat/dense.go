@@ -72,6 +72,17 @@ func (m *Dense) SetRow(i int, src []float64) error {
 	return nil
 }
 
+// SliceRows returns a view of rows [lo, hi) sharing the receiver's storage:
+// mutations through the view are visible in the parent and vice versa. The
+// view is returned by value so hot paths can take its address without a heap
+// allocation. Out-of-range bounds panic, mirroring slice semantics.
+func (m *Dense) SliceRows(lo, hi int) Dense {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("mat: slice rows [%d,%d) of %dx%d", lo, hi, m.rows, m.cols))
+	}
+	return Dense{rows: hi - lo, cols: m.cols, data: m.data[lo*m.cols : hi*m.cols : hi*m.cols]}
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Dense) Clone() *Dense {
 	out := NewDense(m.rows, m.cols)
@@ -183,25 +194,6 @@ func mulShapeCheck(dst, a, b *Dense) error {
 	}
 	if dst.rows != a.rows || dst.cols != b.cols {
 		return fmt.Errorf("mul into %dx%d, want %dx%d: %w", dst.rows, dst.cols, a.rows, b.cols, ErrShape)
-	}
-	return nil
-}
-
-// MulT computes dst = A·Bᵀ without forming the transpose. dst must be
-// A.Rows × B.Rows and must not alias A or B.
-func MulT(dst, a, b *Dense) error {
-	if a.cols != b.cols {
-		return fmt.Errorf("mulT %dx%d by (%dx%d)ᵀ: %w", a.rows, a.cols, b.rows, b.cols, ErrShape)
-	}
-	if dst.rows != a.rows || dst.cols != b.rows {
-		return fmt.Errorf("mulT into %dx%d, want %dx%d: %w", dst.rows, dst.cols, a.rows, b.rows, ErrShape)
-	}
-	for i := 0; i < a.rows; i++ {
-		aRow := a.Row(i)
-		dstRow := dst.Row(i)
-		for j := 0; j < b.rows; j++ {
-			dstRow[j] = Dot(aRow, b.Row(j))
-		}
 	}
 	return nil
 }

@@ -1,0 +1,228 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// mulTReference is the naive per-element formulation the blocked kernel must
+// match bit for bit: dst[i][j] = Dot(a.Row(i), b.Row(j)).
+func mulTReference(dst, a, b *Dense) {
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Rows(); j++ {
+			dst.Set(i, j, Dot(a.Row(i), b.Row(j)))
+		}
+	}
+}
+
+// addMulTAReference is the sequential per-sample outer-product accumulation
+// AddMulTA must reproduce exactly, Axpy zero-skip included.
+func addMulTAReference(dst, a, b *Dense, alpha float64) {
+	for r := 0; r < a.Rows(); r++ {
+		ar, br := a.Row(r), b.Row(r)
+		for i, av := range ar {
+			Axpy(dst.Row(i), alpha*av, br)
+		}
+	}
+}
+
+func TestMulTMatchesDotReferenceBitIdentical(t *testing.T) {
+	// Shapes cover every micro-kernel regime: row tails 1–3 past the 4-row
+	// blocks, k tails past Dot's 4-wide unroll, and single-row/column edges.
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {1, 10, 64}, {2, 3, 5}, {3, 10, 7}, {4, 10, 64},
+		{5, 10, 63}, {7, 1, 4}, {8, 16, 65}, {13, 10, 64}, {256, 10, 64},
+		{31, 9, 786},
+	}
+	for _, s := range shapes {
+		a := randomSeededDense(s.m, s.k, uint64(s.m*1000+s.k))
+		b := randomSeededDense(s.n, s.k, uint64(s.n*7777+s.k))
+		want := NewDense(s.m, s.n)
+		mulTReference(want, a, b)
+		got := NewDense(s.m, s.n)
+		if err := MulT(got, a, b); err != nil {
+			t.Fatalf("MulT(%dx%d·(%dx%d)ᵀ): %v", s.m, s.k, s.n, s.k, err)
+		}
+		for i := 0; i < s.m; i++ {
+			for j := 0; j < s.n; j++ {
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(want.At(i, j)) {
+					t.Fatalf("shape %v: element (%d,%d) = %v differs bitwise from Dot reference %v",
+						s, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			par := NewDense(s.m, s.n)
+			if err := MulTWorkers(par, a, b, workers); err != nil {
+				t.Fatalf("MulTWorkers(%d): %v", workers, err)
+			}
+			for i := range par.data {
+				if math.Float64bits(par.data[i]) != math.Float64bits(want.data[i]) {
+					t.Fatalf("shape %v workers=%d: element %d differs bitwise from reference", s, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMulTShapeErrors(t *testing.T) {
+	a, b := NewDense(3, 4), NewDense(2, 5)
+	if err := MulT(NewDense(3, 2), a, b); !errors.Is(err, ErrShape) {
+		t.Errorf("inner-dim mismatch = %v, want ErrShape", err)
+	}
+	b = NewDense(2, 4)
+	if err := MulT(NewDense(2, 2), a, b); !errors.Is(err, ErrShape) {
+		t.Errorf("dst mismatch = %v, want ErrShape", err)
+	}
+	if err := MulTWorkers(NewDense(2, 2), a, b, 4); !errors.Is(err, ErrShape) {
+		t.Errorf("workers dst mismatch = %v, want ErrShape", err)
+	}
+}
+
+func TestAddMulTAMatchesAxpyReferenceBitIdentical(t *testing.T) {
+	shapes := []struct{ rows, p, q int }{
+		{1, 1, 1}, {2, 10, 64}, {3, 3, 3}, {4, 10, 64}, {5, 10, 63},
+		{9, 2, 7}, {200, 10, 64}, {257, 4, 33},
+	}
+	for _, s := range shapes {
+		a := randomSeededDense(s.rows, s.p, uint64(s.rows*31+s.p))
+		b := randomSeededDense(s.rows, s.q, uint64(s.rows*97+s.q))
+		// Inject exact zeros so the fused path's zero-coefficient fallback is
+		// exercised mid-block, not only in the tail.
+		for i := 0; i < len(a.data); i += 5 {
+			a.data[i] = 0
+		}
+		want := randomSeededDense(s.p, s.q, 12345)
+		got := want.Clone()
+		addMulTAReference(want, a, b, 0.25)
+		if err := AddMulTA(got, a, b, 0.25); err != nil {
+			t.Fatalf("AddMulTA(%v): %v", s, err)
+		}
+		for i := range got.data {
+			if math.Float64bits(got.data[i]) != math.Float64bits(want.data[i]) {
+				t.Fatalf("shape %v: element %d = %v differs bitwise from Axpy reference %v",
+					s, i, got.data[i], want.data[i])
+			}
+		}
+	}
+}
+
+// TestAddMulTAZeroCoefficientKeepsNegativeZero pins the Axpy-skip contract:
+// a zero coefficient contributes nothing at all, so a -0 already in the
+// accumulator must survive (adding +0·x would flip it to +0).
+func TestAddMulTAZeroCoefficientKeepsNegativeZero(t *testing.T) {
+	const rows, p, q = 4, 1, 2 // one full 4-row block, zero coefficient inside
+	a := NewDense(rows, p)
+	b := NewDense(rows, q)
+	for r := 0; r < rows; r++ {
+		a.Set(r, 0, 0) // every coefficient exactly zero
+		b.Set(r, 0, -3.5)
+		b.Set(r, 1, 2.5)
+	}
+	dst := NewDense(p, q)
+	dst.Set(0, 0, math.Copysign(0, -1))
+	if err := AddMulTA(dst, a, b, 1); err != nil {
+		t.Fatalf("AddMulTA: %v", err)
+	}
+	if math.Signbit(dst.At(0, 0)) != true {
+		t.Errorf("zero coefficients flipped -0 to +0: got %v", dst.At(0, 0))
+	}
+}
+
+func TestAddMulTAShapeErrors(t *testing.T) {
+	a, b := NewDense(3, 2), NewDense(4, 5)
+	if err := AddMulTA(NewDense(2, 5), a, b, 1); !errors.Is(err, ErrShape) {
+		t.Errorf("row mismatch = %v, want ErrShape", err)
+	}
+	b = NewDense(3, 5)
+	if err := AddMulTA(NewDense(2, 4), a, b, 1); !errors.Is(err, ErrShape) {
+		t.Errorf("dst mismatch = %v, want ErrShape", err)
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := randomSeededDense(6, 3, 9)
+	v := m.SliceRows(2, 5)
+	if v.Rows() != 3 || v.Cols() != 3 {
+		t.Fatalf("view dims = %dx%d, want 3x3", v.Rows(), v.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if v.At(i, j) != m.At(i+2, j) {
+				t.Fatalf("view (%d,%d) = %v, want parent %v", i, j, v.At(i, j), m.At(i+2, j))
+			}
+		}
+	}
+	v.Set(0, 0, 42)
+	if m.At(2, 0) != 42 {
+		t.Error("view mutation not visible in parent")
+	}
+	if empty := m.SliceRows(4, 4); empty.Rows() != 0 {
+		t.Errorf("empty view has %d rows", empty.Rows())
+	}
+	for _, bad := range [][2]int{{-1, 2}, {3, 2}, {0, 7}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SliceRows(%d, %d) must panic", bad[0], bad[1])
+				}
+			}()
+			m.SliceRows(bad[0], bad[1])
+		}()
+	}
+}
+
+// TestSliceRowsAllocationFree pins that taking a view and running the blocked
+// kernel through it performs zero heap allocations — the evaluator's chunk
+// loop depends on the view staying on the stack.
+func TestSliceRowsAllocationFree(t *testing.T) {
+	x := randomSeededDense(64, 32, 1)
+	w := randomSeededDense(10, 32, 2)
+	dst := NewDense(64, 10)
+	allocs := testing.AllocsPerRun(100, func() {
+		xv := x.SliceRows(8, 40)
+		dv := dst.SliceRows(0, 32)
+		if err := MulT(&dv, &xv, w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SliceRows+MulT allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkMatMulT(b *testing.B) {
+	// 256×features by classes×features is the evaluator's chunk-GEMM shape;
+	// 64 features is quick-synthetic scale, 784 is MNIST scale.
+	for _, features := range []int{64, 784} {
+		a := randomSeededDense(256, features, 1)
+		w := randomSeededDense(10, features, 2)
+		dst := NewDense(256, 10)
+		b.Run(fmt.Sprintf("features=%d", features), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := MulT(dst, a, w); err != nil {
+					b.Fatalf("MulT: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMatAddMulTA(b *testing.B) {
+	for _, features := range []int{64, 784} {
+		delta := randomSeededDense(256, 10, 3)
+		x := randomSeededDense(256, features, 4)
+		grad := NewDense(10, features)
+		b.Run(fmt.Sprintf("features=%d", features), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := AddMulTA(grad, delta, x, 0.005); err != nil {
+					b.Fatalf("AddMulTA: %v", err)
+				}
+			}
+		})
+	}
+}

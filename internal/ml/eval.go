@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"eefei/internal/dataset"
-	"eefei/internal/mat"
 )
 
 // evalChunk is the fixed row-block size evaluation passes are split into.
@@ -52,9 +51,9 @@ type Evaluator struct {
 	m    *Model
 	d    *dataset.Dataset
 	pass evalPass
-	// scratch holds one classes-sized probability buffer per worker,
-	// (re)sized lazily when the model shape changes.
-	scratch [][]float64
+	// scratch holds one batched-forward chunk scratch per worker; static
+	// chunk assignment gives each exactly one owner.
+	scratch []fwdScratch
 	// sums buffers per-chunk partial results between the map and reduce
 	// halves of a pass.
 	sums []float64
@@ -63,12 +62,13 @@ type Evaluator struct {
 	errs []error
 }
 
-// evalPass selects which metric a chunk worker computes.
+// evalPass selects which metric(s) a chunk worker computes.
 type evalPass int
 
 const (
 	passLoss evalPass = iota
 	passAccuracy
+	passMetrics
 )
 
 // NewEvaluator returns an evaluator that fans each pass out over up to
@@ -91,13 +91,11 @@ func (ev *Evaluator) prepare(m *Model, d *dataset.Dataset) (int, error) {
 	}
 	chunks := (d.Len() + evalChunk - 1) / evalChunk
 	if ev.scratch == nil {
-		ev.scratch = make([][]float64, ev.workers)
+		ev.scratch = make([]fwdScratch, ev.workers)
 	}
-	for w := range ev.scratch {
-		if len(ev.scratch[w]) != m.Classes() {
-			ev.scratch[w] = make([]float64, m.Classes())
-		}
-	}
+	// The per-worker logits blocks themselves are sized inside the pass
+	// (fwdScratch.ensureLogits), so idle workers of a gated pass never
+	// allocate theirs.
 	if cap(ev.sums) < chunks {
 		ev.sums = make([]float64, chunks)
 		ev.hits = make([]int, chunks)
@@ -120,12 +118,11 @@ func (ev *Evaluator) chunkWorker(w, workers int) {
 		if hi > ev.d.Len() {
 			hi = ev.d.Len()
 		}
-		switch ev.pass {
-		case passLoss:
-			ev.sums[chunk], ev.errs[chunk] = lossRowRange(ev.m, ev.d, lo, hi, ev.scratch[w])
-		case passAccuracy:
-			ev.hits[chunk], ev.errs[chunk] = accuracyRowRange(ev.m, ev.d, lo, hi, ev.scratch[w])
-		}
+		sc := &ev.scratch[w]
+		wantLoss := ev.pass == passLoss || ev.pass == passMetrics
+		wantHits := ev.pass == passAccuracy || ev.pass == passMetrics
+		ev.sums[chunk], ev.hits[chunk], ev.errs[chunk] =
+			forwardRowRange(ev.m, ev.d, lo, hi, sc, wantLoss, wantHits)
 	}
 }
 
@@ -141,15 +138,10 @@ func (ev *Evaluator) run(m *Model, d *dataset.Dataset, pass evalPass) error {
 	if workers <= 1 {
 		ev.chunkWorker(0, 1)
 	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				ev.chunkWorker(w, workers)
-			}(w)
-		}
-		wg.Wait()
+		// Kept out of line so the closure's captures (and the WaitGroup)
+		// heap-allocate only when workers actually spawn; the sequential
+		// path stays allocation-free.
+		ev.runParallel(workers)
 	}
 	ev.m, ev.d = nil, nil
 	for _, err := range ev.errs {
@@ -160,19 +152,17 @@ func (ev *Evaluator) run(m *Model, d *dataset.Dataset, pass evalPass) error {
 	return nil
 }
 
-// accuracyRowRange counts how many of rows [lo, hi) of d the model classifies
-// correctly, using scores as logit scratch.
-func accuracyRowRange(m *Model, d *dataset.Dataset, lo, hi int, scores []float64) (int, error) {
-	correct := 0
-	for i := lo; i < hi; i++ {
-		if err := m.Logits(scores, d.X.Row(i)); err != nil {
-			return 0, err
-		}
-		if mat.ArgMax(scores) == d.Labels[i] {
-			correct++
-		}
+// runParallel fans the in-flight pass out over the given worker count.
+func (ev *Evaluator) runParallel(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev.chunkWorker(w, workers)
+		}(w)
 	}
-	return correct, nil
+	wg.Wait()
 }
 
 // Loss computes the mean loss of m over d — the same metric as the
@@ -206,4 +196,27 @@ func (ev *Evaluator) Accuracy(m *Model, d *dataset.Dataset) (float64, error) {
 		total += h
 	}
 	return float64(total) / float64(d.Len()), nil
+}
+
+// Metrics computes mean loss and accuracy in one forward sweep — each chunk's
+// logits block is reused for both the loss and the argmax — returning values
+// bit-identical to calling Loss and Accuracy separately, at roughly half the
+// compute.
+func (ev *Evaluator) Metrics(m *Model, d *dataset.Dataset) (loss, accuracy float64, err error) {
+	if _, err := ev.prepare(m, d); err != nil {
+		return 0, 0, err
+	}
+	if err := ev.run(m, d, passMetrics); err != nil {
+		return 0, 0, err
+	}
+	var total float64
+	hits := 0
+	for _, s := range ev.sums {
+		total += s
+	}
+	for _, h := range ev.hits {
+		hits += h
+	}
+	n := float64(d.Len())
+	return total / n, float64(hits) / n, nil
 }

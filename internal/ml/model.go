@@ -172,18 +172,33 @@ func (m *Model) Predict(x []float64) (int, error) {
 	return mat.ArgMax(scores), nil
 }
 
-// PredictBatch classifies every row of d and returns the predicted labels.
+// LogitsBatch computes logits for every row of x into dst (x.Rows×classes):
+// dst = x·Wᵀ + 1·bᵀ via the blocked transposed GEMM. Each dst row is
+// bit-identical to Logits on the corresponding sample. dst must not alias x.
+func (m *Model) LogitsBatch(dst, x *mat.Dense) error {
+	if x.Cols() != m.Features() || dst.Rows() != x.Rows() || dst.Cols() != m.Classes() {
+		return fmt.Errorf("batch logits %dx%d of %dx%d data with %dx%d model: %w",
+			dst.Rows(), dst.Cols(), x.Rows(), x.Cols(), m.Classes(), m.Features(), ErrModelShape)
+	}
+	if err := mat.MulT(dst, x, m.W); err != nil {
+		return fmt.Errorf("batch logits: %w", err)
+	}
+	for i := 0; i < dst.Rows(); i++ {
+		mat.Axpy(dst.Row(i), 1, m.B)
+	}
+	return nil
+}
+
+// PredictBatch classifies every row of d and returns the predicted labels,
+// scoring evalChunk-row blocks through the batched forward pass.
 func (m *Model) PredictBatch(d *dataset.Dataset) ([]int, error) {
 	if d.Dim() != m.Features() {
 		return nil, fmt.Errorf("predict %d-dim data with %d-dim model: %w", d.Dim(), m.Features(), ErrModelShape)
 	}
 	out := make([]int, d.Len())
-	scores := make([]float64, m.Classes())
-	for i := 0; i < d.Len(); i++ {
-		if err := m.Logits(scores, d.X.Row(i)); err != nil {
-			return nil, err
-		}
-		out[i] = mat.ArgMax(scores)
+	var sc fwdScratch
+	if err := predictRowRange(m, d, 0, d.Len(), &sc, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -45,10 +45,10 @@ type SGD struct {
 	lr      float64
 	step    int // epochs performed so far, drives decay
 	rng     *mat.RNG
-	grad    *Model    // reusable gradient accumulator
-	probs   []float64 // reusable per-sample probability scratch
-	perm    []int     // reusable mini-batch shuffle buffer
-	proxRef *Model    // FedProx anchor; nil disables the proximal pull
+	grad    *Model     // reusable gradient accumulator
+	fwd     fwdScratch // reusable batched-forward chunk scratch
+	perm    []int      // reusable mini-batch shuffle buffer
+	proxRef *Model     // FedProx anchor; nil disables the proximal pull
 }
 
 // SetProximalRef anchors FedProx local training to ref (typically the
@@ -130,15 +130,12 @@ func (s *SGD) Epoch(m *Model, d *dataset.Dataset) (float64, error) {
 	if s.grad == nil || s.grad.Classes() != m.Classes() || s.grad.Features() != m.Features() {
 		s.grad = NewModel(m.Classes(), m.Features(), m.Act)
 	}
-	if len(s.probs) != m.Classes() {
-		s.probs = make([]float64, m.Classes())
-	}
 
 	var loss float64
 	if s.cfg.BatchSize <= 0 || s.cfg.BatchSize >= d.Len() {
 		// Full-batch gradient descent (the paper's setting).
 		s.grad.Zero()
-		l, err := gradientRows(m, d, nil, s.grad, s.probs)
+		l, err := gradientRows(m, d, nil, s.grad, &s.fwd)
 		if err != nil {
 			return 0, fmt.Errorf("epoch gradient: %w", err)
 		}
@@ -162,7 +159,7 @@ func (s *SGD) Epoch(m *Model, d *dataset.Dataset) (float64, error) {
 				end = len(s.perm)
 			}
 			s.grad.Zero()
-			l, err := gradientRows(m, d, s.perm[start:end], s.grad, s.probs)
+			l, err := gradientRows(m, d, s.perm[start:end], s.grad, &s.fwd)
 			if err != nil {
 				return 0, fmt.Errorf("epoch gradient: %w", err)
 			}

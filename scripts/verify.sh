@@ -23,11 +23,14 @@ echo "== tests (race detector) =="
 go test -race ./...
 
 echo "== observer determinism/race (explicit) =="
-# The observability layer's contract — bit-identical training with a
-# mutating RoundObserver attached, pool claims counters included — is
-# pinned under the race detector even if the full -race sweep above is
-# ever narrowed.
+# Contracts pinned under the race detector even if the full -race sweep
+# above is ever narrowed: bit-identical training with a mutating
+# RoundObserver attached (pool claims counters included), and the batched
+# GEMM forward pass matching the per-sample sequential reference bit for
+# bit at every worker count (kernel layer in internal/mat, metric/gradient
+# layer in internal/ml).
 go test -race -run 'Observer|SpawnGate|TraceWriter' ./internal/fl ./internal/flnet
+go test -race -run 'BitIdentical|Forward|Metrics' ./internal/mat ./internal/ml
 
 echo "== examples =="
 go run ./examples/quickstart
@@ -45,8 +48,10 @@ go run ./cmd/eefei-plan -grid
 
 echo "== benches (single shot, all packages) =="
 # Smoke-run every benchmark once so a panic or regression in a bench-only
-# code path (worker pools, blocked GEMM, evaluator scratch) fails verify.
-# scripts/bench.sh is the tool for real measurements and BENCH_*.json.
+# code path (worker pools, blocked GEMM, evaluator scratch, the batched
+# forward kernels BenchmarkMatMulT / BenchmarkMatAddMulTA /
+# BenchmarkEvaluatorMetrics) fails verify. scripts/bench.sh is the tool
+# for real measurements and BENCH_*.json.
 go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
 
 echo "== bench regression gate =="
