@@ -1,6 +1,7 @@
 package eefei
 
 import (
+	"io"
 	"time"
 
 	"eefei/internal/core"
@@ -93,21 +94,47 @@ type (
 	AsyncUpdate = fl.AsyncUpdate
 	// AsyncEngine runs FedAsync-style training over in-memory shards.
 	AsyncEngine = fl.AsyncEngine
+	// AsyncOption customizes an AsyncEngine (worker-pool sizes).
+	AsyncOption = fl.AsyncOption
 )
 
 // NewAsyncEngine builds an asynchronous engine over the shards; test may be
-// nil.
-func NewAsyncEngine(cfg AsyncConfig, shards []*Dataset, test *Dataset) (*AsyncEngine, error) {
-	return fl.NewAsyncEngine(cfg, shards, test)
+// nil. Results are bit-identical for every worker-pool option: completion
+// order comes from the engine's deterministic virtual-time scheduler, never
+// from goroutine scheduling.
+func NewAsyncEngine(cfg AsyncConfig, shards []*Dataset, test *Dataset, opts ...AsyncOption) (*AsyncEngine, error) {
+	return fl.NewAsyncEngine(cfg, shards, test, opts...)
 }
 
-// Async stop-condition constructors, re-exported.
+// Async engine options and stop-condition constructors, re-exported.
 var (
+	// WithAsyncParallelism caps concurrent local-training workers.
+	WithAsyncParallelism = fl.WithAsyncParallelism
+	// WithAsyncEvalParallelism caps the post-update evaluation workers.
+	WithAsyncEvalParallelism = fl.WithAsyncEvalParallelism
 	// MaxAsyncSteps stops after n asynchronous updates.
 	MaxAsyncSteps = fl.MaxAsyncSteps
 	// AsyncTargetAccuracy stops at a test-accuracy threshold.
 	AsyncTargetAccuracy = fl.AsyncTargetAccuracy
 )
+
+// Per-round observability, re-exported: attach a RoundObserver (or a
+// TraceWriter over an io.Writer) to an Engine or AsyncEngine via
+// SetRoundObserver to stream one RoundStats per round/step.
+type (
+	// RoundStats is one round's phase timings and pool occupancy.
+	RoundStats = fl.RoundStats
+	// RoundObserver consumes RoundStats after each round or async step.
+	RoundObserver = fl.RoundObserver
+	// FuncObserver adapts a function to the RoundObserver interface.
+	FuncObserver = fl.FuncObserver
+	// TraceWriter is a RoundObserver that streams JSONL (cmd/tracefmt
+	// renders the files it writes).
+	TraceWriter = fl.TraceWriter
+)
+
+// NewTraceWriter streams each observed round as one JSON line on w.
+func NewTraceWriter(w io.Writer) *TraceWriter { return fl.NewTraceWriter(w) }
 
 // First-principles constant estimation, re-exported: derive σ², L and
 // ‖ω0−ω*‖² from a dataset plus a near-optimal reference model, then

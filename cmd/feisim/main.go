@@ -5,11 +5,13 @@
 //	feisim -k 1 -e 43 -target 0.88    # run the planner's optimal config
 //	feisim -scale paper -k 10 -e 40   # prototype-scale dimensions (slow)
 //	feisim -collect                   # pay IoT data-collection every round
+//	feisim -async -max-staleness 8    # FedAsync-style staleness-weighted run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"eefei/internal/energy"
@@ -37,6 +39,10 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "run seed")
 		trace     = fs.String("trace", "", "write per-round phase timings as JSON lines to this file")
 		traceMem  = fs.Bool("trace-mem", false, "sample runtime.MemStats per round into the trace (requires -trace; slows rounds)")
+		async     = fs.Bool("async", false, "asynchronous staleness-weighted scheduling instead of synchronous rounds")
+		mix       = fs.Float64("mix", 0.6, "async base mixing weight α (with -async)")
+		maxStale  = fs.Int("max-staleness", 0, "async: drop updates staler than this many versions, 0 = never (with -async)")
+		workers   = fs.Int("workers", 0, "async training/eval pool size, 0 = GOMAXPROCS; any value is bit-identical (with -async)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +64,10 @@ func run(args []string) error {
 	}
 	if *maxRounds <= 0 {
 		*maxRounds = setup.RoundCap
+	}
+	if *async {
+		return runAsync(setup, *e, *mix, *maxStale, *workers, *target,
+			*maxRounds, *seed, *trace, *traceMem)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -117,5 +127,89 @@ func run(args []string) error {
 	if n := len(res.History); n > 0 {
 		fmt.Printf("  per round %10.2f J\n", res.TotalJoules()/float64(n))
 	}
+	return nil
+}
+
+// runAsync is the -async path: a FedAsync-style staleness-weighted run over
+// the same setup, driven by the AsyncEngine's deterministic virtual-time
+// scheduler. -max-rounds caps total updates (applied or dropped) here, and
+// the projected energy charges every completed local training — download,
+// E epochs of compute, upload — including the stale ones that get dropped:
+// that wasted work is exactly the price the staleness cap pays to bound
+// model divergence.
+func runAsync(setup *experiments.Setup, e int, mix float64, maxStale, workers int,
+	target float64, maxSteps int, seed uint64, trace string, traceMem bool) error {
+	// Rescale the sync per-round decay to its per-version equivalent: the
+	// async version counter advances ~|shards|× faster than a synchronous
+	// round of fleet time (same mapping as experiments.CompareAsync).
+	decay := setup.Decay
+	if decay > 0 {
+		decay = math.Pow(decay, 1/float64(len(setup.Shards)))
+	}
+	cfg := fl.AsyncConfig{
+		LocalEpochs:  e,
+		LearningRate: setup.LearningRate,
+		Decay:        decay,
+		MixWeight:    mix,
+		MaxStaleness: maxStale,
+		Seed:         seed,
+	}
+	engine, err := fl.NewAsyncEngine(cfg, setup.Shards, setup.Test,
+		fl.WithAsyncParallelism(workers), fl.WithAsyncEvalParallelism(workers))
+	if err != nil {
+		return err
+	}
+	var tw *fl.TraceWriter
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		defer f.Close()
+		tw = fl.NewTraceWriter(f)
+		engine.SetRoundObserver(tw)
+		engine.SetMemSampling(traceMem)
+	}
+	fmt.Printf("feisim: async, N=%d servers, E=%d, α=%.2f, staleness cap %d, target %.2f\n",
+		len(setup.Shards), e, mix, maxStale, target)
+
+	updates, err := engine.Run(func(h []fl.AsyncUpdate) bool {
+		return fl.AsyncTargetAccuracy(target)(h) || fl.MaxAsyncSteps(maxSteps)(h)
+	})
+	if err != nil {
+		return err
+	}
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace: %d steps written to %s\n", tw.Lines(), trace)
+	}
+
+	dropped := 0
+	maxSeen := 0
+	for _, u := range updates {
+		if !u.Applied {
+			dropped++
+		}
+		if u.Staleness > maxSeen {
+			maxSeen = u.Staleness
+		}
+	}
+	last := updates[len(updates)-1]
+	fmt.Printf("\nupdates run       %d (%d applied, %d stale-dropped)\n",
+		len(updates), len(updates)-dropped, dropped)
+	fmt.Printf("max staleness     %d\n", maxSeen)
+	fmt.Printf("final loss        %.4f\n", last.TrainLoss)
+	fmt.Printf("final accuracy    %.4f\n", last.TestAccuracy)
+	fmt.Printf("virtual time      %.2f units\n", last.At)
+
+	dm := energy.DefaultPiDeviceModel()
+	perUpdate := dm.DownloadEnergy() + dm.TrainEnergy(e, setup.SamplesPerServer()) + dm.UploadEnergy()
+	total := float64(len(updates)) * perUpdate
+	fmt.Printf("\nprojected energy (no waiting phase):\n")
+	fmt.Printf("  per update %9.2f J\n", perUpdate)
+	fmt.Printf("  wasted     %9.2f J (stale-dropped trainings)\n", float64(dropped)*perUpdate)
+	fmt.Printf("  total      %9.2f J\n", total)
 	return nil
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunQuick(t *testing.T) {
 	// A tiny run: K=2, E=2, capped at 3 rounds.
@@ -14,6 +18,24 @@ func TestRunWithCollection(t *testing.T) {
 	args := []string{"-k", "1", "-e", "1", "-max-rounds", "2", "-target", "0.999", "-collect"}
 	if err := run(args); err != nil {
 		t.Fatalf("run -collect: %v", err)
+	}
+}
+
+func TestRunAsync(t *testing.T) {
+	// A tiny async run with tracing: 8 updates, tight staleness cap so both
+	// the applied and dropped paths execute, sequential pool.
+	trace := t.TempDir() + "/async.jsonl"
+	args := []string{"-async", "-e", "1", "-max-rounds", "8", "-target", "0.999",
+		"-max-staleness", "2", "-workers", "1", "-trace", trace}
+	if err := run(args); err != nil {
+		t.Fatalf("run -async: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1; lines != 8 {
+		t.Errorf("trace has %d lines, want 8", lines)
 	}
 }
 

@@ -29,6 +29,32 @@ func TestSummarizeGolden(t *testing.T) {
 	}
 }
 
+// TestSummarizeAsyncGolden pins the report for a checked-in AsyncEngine
+// trace (examples/async_fl -steps 12 -max-staleness 2 -workers 2 -trace):
+// the staleness-dropped steps must surface on the faults line, and dropped
+// steps (which skip aggregate/evaluate) leave those phase p50s at zero.
+func TestSummarizeAsyncGolden(t *testing.T) {
+	trace, err := os.Open("testdata/async_trace.jsonl")
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer trace.Close()
+	want, err := os.ReadFile("testdata/async_trace.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var out strings.Builder
+	if err := summarize(&out, trace); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("summary differs from golden.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+	if !strings.Contains(out.String(), "dropped") {
+		t.Error("async summary must report the staleness-drop counter")
+	}
+}
+
 func TestSummarizeRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
 	for _, in := range []string{"", "\n\n  \n"} {

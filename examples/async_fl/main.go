@@ -2,19 +2,31 @@
 // the paper's synchronous rounds. Every edge server trains continuously;
 // each completed local training applies to the global model immediately
 // with weight α/(staleness+1), so no energy is wasted idling behind
-// stragglers.
+// stragglers. Completion order comes from the engine's deterministic
+// virtual-time scheduler, so the run is bit-identical at any -workers.
 //
 //	go run ./examples/async_fl
+//	go run ./examples/async_fl -workers 1 -steps 40
+//	go run ./examples/async_fl -trace async.jsonl   # render with cmd/tracefmt
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"eefei"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "training/eval worker-pool size (0 = GOMAXPROCS; any value is bit-identical)")
+	steps := flag.Int("steps", 300, "maximum async updates (applied or dropped)")
+	maxStale := flag.Int("max-staleness", 8, "drop updates staler than this many versions (0 = never)")
+	seed := flag.Uint64("seed", 1, "run seed (virtual-time schedule + training streams)")
+	tracePath := flag.String("trace", "", "write per-step phase timings as JSONL to this file")
+	flag.Parse()
+
 	dcfg := eefei.SyntheticConfig{
 		Samples: 2000, Classes: 10, Side: 8, Noise: 0.42, BlobsPerClass: 3, Seed: 1,
 	}
@@ -34,17 +46,27 @@ func main() {
 		LearningRate: 0.1,
 		Decay:        0.999,
 		MixWeight:    0.6,
-		MaxStaleness: 8,
-		Seed:         1,
+		MaxStaleness: *maxStale,
+		Seed:         *seed,
 	}
-	engine, err := eefei.NewAsyncEngine(cfg, shards, test)
+	engine, err := eefei.NewAsyncEngine(cfg, shards, test,
+		eefei.WithAsyncParallelism(*workers), eefei.WithAsyncEvalParallelism(*workers))
 	if err != nil {
 		log.Fatalf("engine: %v", err)
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		defer f.Close()
+		engine.SetRoundObserver(eefei.NewTraceWriter(f))
+	}
 
-	fmt.Println("asynchronous FL: 10 servers, α=0.6, staleness cap 8")
+	fmt.Printf("asynchronous FL: 10 servers, α=%.1f, staleness cap %d\n",
+		cfg.MixWeight, cfg.MaxStaleness)
 	updates, err := engine.Run(func(h []eefei.AsyncUpdate) bool {
-		return eefei.AsyncTargetAccuracy(0.89)(h) || eefei.MaxAsyncSteps(300)(h)
+		return eefei.AsyncTargetAccuracy(0.89)(h) || eefei.MaxAsyncSteps(*steps)(h)
 	})
 	if err != nil {
 		log.Fatalf("run: %v", err)
@@ -75,7 +97,7 @@ func main() {
 		start = 0
 	}
 	for _, u := range updates[start:] {
-		fmt.Printf("  v%-3d client %d staleness %d α=%.3f acc %.4f\n",
-			u.Step, u.Client, u.Staleness, u.MixWeight, u.TestAccuracy)
+		fmt.Printf("  v%-3d client %d staleness %d α=%.3f acc %.4f t=%.2f\n",
+			u.Step, u.Client, u.Staleness, u.MixWeight, u.TestAccuracy, u.At)
 	}
 }

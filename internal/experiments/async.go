@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"eefei/internal/energy"
 	"eefei/internal/fl"
@@ -23,6 +24,9 @@ type AsyncComparison struct {
 	SyncJoules float64
 	// AsyncUpdates is the applied async updates to target.
 	AsyncUpdates int
+	// AsyncDropped counts updates discarded for exceeding MaxStaleness
+	// (wasted local work the async scheduler paid for).
+	AsyncDropped int
 	// AsyncJoules is the projected async energy: per-update train +
 	// download + upload, no waiting phase.
 	AsyncJoules float64
@@ -50,11 +54,21 @@ func CompareAsync(setup *Setup, k, e int, mix float64) (*AsyncComparison, error)
 	out.SyncJoules = syncRes.TotalJoules()
 	out.SyncFinalAccuracy = syncRes.FinalAccuracy
 
-	// Asynchronous run.
+	// Asynchronous run. The async engine decays the learning rate against
+	// the global version, which advances once per applied update — roughly
+	// |shards|× faster than a synchronous round of fleet time — so the sync
+	// per-round decay is rescaled to its per-version equivalent. Without
+	// this the schedule collapses the step size hundreds of versions before
+	// the staleness-discounted mixing (α_s = α/(s+1), steady-state
+	// s ≈ |shards|−1) has moved the global model anywhere.
+	decay := setup.Decay
+	if decay > 0 {
+		decay = math.Pow(decay, 1/float64(len(setup.Shards)))
+	}
 	acfg := fl.AsyncConfig{
 		LocalEpochs:  e,
 		LearningRate: setup.LearningRate,
-		Decay:        setup.Decay,
+		Decay:        decay,
 		MixWeight:    mix,
 		Seed:         1,
 	}
@@ -70,6 +84,11 @@ func CompareAsync(setup *Setup, k, e int, mix float64) (*AsyncComparison, error)
 		return nil, fmt.Errorf("async run: %w", err)
 	}
 	out.AsyncUpdates = len(updates)
+	for _, u := range updates {
+		if !u.Applied {
+			out.AsyncDropped++
+		}
+	}
 	if n := len(updates); n > 0 {
 		out.AsyncFinalAccuracy = updates[n-1].TestAccuracy
 	}
@@ -90,8 +109,8 @@ func (c *AsyncComparison) Render(w io.Writer) error {
 	}
 	_, err := fmt.Fprintf(w,
 		"  sync : %4d rounds  (%4d client updates)  %8.1f J  final acc %.4f\n"+
-			"  async: %4d updates %26s %8.1f J  final acc %.4f\n",
+			"  async: %4d updates (%4d stale-dropped)  %8.1f J  final acc %.4f\n",
 		c.SyncRounds, c.SyncClientUpdates, c.SyncJoules, c.SyncFinalAccuracy,
-		c.AsyncUpdates, "", c.AsyncJoules, c.AsyncFinalAccuracy)
+		c.AsyncUpdates, c.AsyncDropped, c.AsyncJoules, c.AsyncFinalAccuracy)
 	return err
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"eefei/internal/dataset"
 	"eefei/internal/mat"
@@ -22,17 +24,31 @@ import (
 // training. Asynchrony removes the synchronous-round straggler waste the
 // heterogeneity ablation quantifies (the paper's Section II cites this
 // line of work as the scheduling alternative).
+//
+// Completion order is driven by a deterministic virtual-time scheduler: each
+// client owns a seeded duration stream (a per-client speed drawn once, a
+// jitter factor drawn per dispatch) and completions pop off a min-heap keyed
+// by (virtual time, client id). The order of applied versions — and
+// therefore the global model — is a pure function of the seed, never of the
+// worker-pool size or goroutine scheduling. Local training itself runs on
+// the same bounded-pool / per-slot-scratch / atomic-commit architecture as
+// Engine.Round; see DESIGN.md §7 "Async parity".
 
 // ErrAsync is returned (wrapped) for invalid async configurations.
 var ErrAsync = errors.New("fl: invalid async config")
+
+// asyncSchedSalt decorrelates the virtual-time duration streams from the
+// (seed, client, version) training streams that share cfg.Seed.
+const asyncSchedSalt = 0xda3e39cb94b95bdb
 
 // AsyncConfig parameterizes an asynchronous run.
 type AsyncConfig struct {
 	// LocalEpochs is E, the local epochs per dispatched task.
 	LocalEpochs int
-	// LearningRate is the local SGD step size γ.
+	// LearningRate is the local SGD step size γ at version 0.
 	LearningRate float64
-	// Decay multiplies γ once per dispatched task.
+	// Decay schedules the learning rate against the global version: a task
+	// dispatched at version v trains with γ·Decay^v. Zero disables decay.
 	Decay float64
 	// MixWeight is α, the base mixing weight of a fresh (staleness-0)
 	// update. The synchronous mean with K=1 corresponds to α = 1.
@@ -42,7 +58,8 @@ type AsyncConfig struct {
 	MaxStaleness int
 	// Activation selects the classifier head.
 	Activation ml.Activation
-	// Seed drives client scheduling.
+	// Seed drives the virtual-time completion schedule and every client's
+	// local training stream.
 	Seed uint64
 }
 
@@ -66,10 +83,13 @@ func (c AsyncConfig) Validate() error {
 	if c.LearningRate <= 0 {
 		return fmt.Errorf("learning rate %v: %w", c.LearningRate, ErrAsync)
 	}
-	if c.Decay < 0 || c.Decay > 1 {
+	if math.IsInf(c.LearningRate, 0) || math.IsNaN(c.LearningRate) {
+		return fmt.Errorf("learning rate %v: %w", c.LearningRate, ErrAsync)
+	}
+	if c.Decay < 0 || c.Decay > 1 || math.IsNaN(c.Decay) {
 		return fmt.Errorf("decay %v: %w", c.Decay, ErrAsync)
 	}
-	if c.MixWeight <= 0 || c.MixWeight > 1 {
+	if !(c.MixWeight > 0) || c.MixWeight > 1 {
 		return fmt.Errorf("mix weight %v outside (0,1]: %w", c.MixWeight, ErrAsync)
 	}
 	if c.MaxStaleness < 0 {
@@ -90,6 +110,9 @@ type AsyncUpdate struct {
 	Applied bool
 	// MixWeight is the effective α_s used (0 when dropped).
 	MixWeight float64
+	// At is the virtual completion time of this update in scheduler units
+	// (per-client seeded duration draws; see DESIGN.md §7 "Async parity").
+	At float64
 	// TrainLoss is the global loss after the update (NaN when dropped and
 	// no evaluation was performed).
 	TrainLoss float64
@@ -97,28 +120,104 @@ type AsyncUpdate struct {
 	TestAccuracy float64
 }
 
-// AsyncEngine simulates asynchronous FL: a queue of in-flight local
-// trainings completes in randomized order, each applying to the global
-// model with a staleness discount. Completion order is drawn from the
-// engine's RNG, so runs are deterministic per seed.
-type AsyncEngine struct {
-	cfg       AsyncConfig
-	shards    []*dataset.Dataset
-	global    *ml.Model
-	test      *dataset.Dataset
-	rng       *mat.RNG
-	roundObs  RoundObserver
-	sampleMem bool
+// asyncEvent is one scheduled completion in the virtual-time queue.
+type asyncEvent struct {
+	at      float64
+	client  int
+	version int // global version at dispatch
+}
 
-	// inflight holds, per busy client, the global version it started from.
-	inflight map[int]int
-	version  int
-	history  []AsyncUpdate
-	tasks    int // dispatched tasks, drives decay
+// eventBefore orders the completion heap: virtual time first, client id as
+// the deterministic tie-break.
+func eventBefore(a, b asyncEvent) bool {
+	return a.at < b.at || (a.at == b.at && a.client < b.client)
+}
+
+// asyncSlot carries one in-flight training's bookkeeping. worker records
+// which pool worker trained the slot — observability only (WorkerClaims); it
+// costs nothing to track, unlike a shared counter, which would have to be
+// heap-allocated into the pool closure even on unobserved steps (same
+// claims-tagging pattern as localResult).
+type asyncSlot struct {
+	worker int
+	err    error
+}
+
+// AsyncOption customizes an AsyncEngine.
+type AsyncOption func(*AsyncEngine)
+
+// WithAsyncParallelism caps concurrent local-training workers; 1 forces
+// sequential execution, 0 selects GOMAXPROCS. Results are bit-identical for
+// every setting: a client's training stream is derived from
+// (seed, client, version), never from which worker ran it.
+func WithAsyncParallelism(n int) AsyncOption {
+	return func(e *AsyncEngine) { e.parallel = n }
+}
+
+// WithAsyncEvalParallelism caps the workers used for post-update evaluation
+// (global loss over the shards, accuracy over the test set); 1 forces
+// sequential evaluation, 0 selects GOMAXPROCS. Results are bit-identical for
+// every setting (shard-order and chunk-order reductions).
+func WithAsyncEvalParallelism(n int) AsyncOption {
+	return func(e *AsyncEngine) { e.evalParallel = n }
+}
+
+// AsyncEngine simulates asynchronous FL over a deterministic virtual-time
+// scheduler: every client trains continuously; completions pop off a seeded
+// event queue and each applies to the global model with a staleness
+// discount.
+//
+// The steady-state Step is allocation-free with a nil observer: local
+// training reuses per-client snapshot models and per-worker Reset-able SGDs
+// (each owning its gradient accumulator and batched-forward chunk scratch),
+// the event queue is a slice-backed heap that never grows past the fleet
+// size, and the staleness-discounted mix lands in a scratch model that is
+// committed only after evaluation succeeds — a failing step can never
+// publish a half-applied global model.
+type AsyncEngine struct {
+	cfg          AsyncConfig
+	shards       []*dataset.Dataset
+	totalSamples int
+	global       *ml.Model
+	test         *dataset.Dataset
+	roundObs     RoundObserver
+	sampleMem    bool
+	parallel     int
+	evalParallel int
+
+	// Virtual-time scheduler state. events is a min-heap over (at, client);
+	// now is the time of the last popped completion; speed/durRNG hold each
+	// client's seeded duration stream.
+	events  []asyncEvent
+	now     float64
+	speed   []float64
+	durRNG  []*mat.RNG
+	started bool
+
+	// Training scratch. locals holds each client's dispatch-time snapshot
+	// (trained in place — indexed by client, the async analogue of the sync
+	// engine's per-selection-slot models); dispatchV the version it was
+	// dispatched at; pending the dispatched-but-untrained clients flushed
+	// through the bounded pool at the start of every Step; sgds the
+	// per-worker optimizers; slots the per-client worker/error tags.
+	locals    []*ml.Model
+	dispatchV []int
+	pending   []int
+	sgds      []*ml.SGD
+	slots     []asyncSlot
+
+	// Commit and evaluation scratch: the mix is formed and evaluated in
+	// mixScratch and only then copied into global.
+	mixScratch *ml.Model
+	shardLoss  shardLossMap
+	testEval   *ml.Evaluator
+
+	version int
+	history []AsyncUpdate
 }
 
 // NewAsyncEngine builds an engine over the shards; test may be nil.
-func NewAsyncEngine(cfg AsyncConfig, shards []*dataset.Dataset, test *dataset.Dataset) (*AsyncEngine, error) {
+func NewAsyncEngine(cfg AsyncConfig, shards []*dataset.Dataset, test *dataset.Dataset, opts ...AsyncOption) (*AsyncEngine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,14 +237,55 @@ func NewAsyncEngine(cfg AsyncConfig, shards []*dataset.Dataset, test *dataset.Da
 	if act == 0 {
 		act = ml.Softmax
 	}
-	return &AsyncEngine{
-		cfg:      cfg,
-		shards:   shards,
-		global:   ml.NewModel(classes, dim, act),
-		test:     test,
-		rng:      mat.NewRNG(cfg.Seed),
-		inflight: make(map[int]int),
-	}, nil
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	e := &AsyncEngine{
+		cfg:          cfg,
+		shards:       shards,
+		totalSamples: total,
+		global:       ml.NewModel(classes, dim, act),
+		test:         test,
+		parallel:     runtime.GOMAXPROCS(0),
+		evalParallel: runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.parallel <= 0 {
+		e.parallel = runtime.GOMAXPROCS(0)
+	}
+	if e.evalParallel <= 0 {
+		e.evalParallel = runtime.GOMAXPROCS(0)
+	}
+	n := len(shards)
+	e.locals = make([]*ml.Model, n)
+	for c := range e.locals {
+		e.locals[c] = ml.NewModel(classes, dim, act)
+	}
+	e.dispatchV = make([]int, n)
+	e.pending = make([]int, 0, n)
+	e.slots = make([]asyncSlot, n)
+	e.events = make([]asyncEvent, 0, n)
+	e.mixScratch = ml.NewModel(classes, dim, act)
+	e.shardLoss.init(n)
+	if test != nil {
+		e.testEval = ml.NewEvaluator(e.evalParallel)
+	}
+	// Per-client duration streams, split off a dedicated scheduler RNG so
+	// the completion schedule and the training streams never share draws.
+	// Each client's mean task duration is fixed once in [0.5, 2.0) —
+	// a 4× heterogeneity spread, the straggler population the paper's
+	// Section II motivates asynchrony with.
+	sched := mat.NewRNG(cfg.Seed ^ asyncSchedSalt)
+	e.speed = make([]float64, n)
+	e.durRNG = make([]*mat.RNG, n)
+	for c := 0; c < n; c++ {
+		e.durRNG[c] = sched.Split()
+		e.speed[c] = 0.5 + 1.5*e.durRNG[c].Float64()
+	}
+	return e, nil
 }
 
 // Global returns the current global model.
@@ -159,123 +299,281 @@ func (e *AsyncEngine) History() []AsyncUpdate { return e.history }
 
 // SetRoundObserver attaches (or, with nil, detaches) a per-step
 // observability sink. Each Step emits one RoundStats whose Round field is
-// the step ordinal; a staleness-dropped update reports Dropped=1 and skips
-// the train/aggregate/evaluate phases. Must not be called mid-Step.
+// the step ordinal: the train phase covers the pool flush of pending local
+// trainings (Workers/WorkerClaims report its fan-out), select the event-queue
+// pop, aggregate the staleness-discounted mix, evaluate the post-update
+// metrics. A staleness-dropped update reports Dropped=1 and skips the
+// aggregate/evaluate phases. Must not be called mid-Step.
 func (e *AsyncEngine) SetRoundObserver(o RoundObserver) { e.roundObs = o }
 
 // SetMemSampling toggles per-step memstats sampling (observed steps only).
 func (e *AsyncEngine) SetMemSampling(on bool) { e.sampleMem = on }
 
-// Step processes one completion: if no trainings are in flight, it first
-// dispatches every idle client (all clients train continuously in the
-// async model), then completes one uniformly at random.
+// dispatch hands client c the current global model: snapshot it into the
+// client's local model, draw the task's virtual duration from the client's
+// seeded stream, and schedule the completion. The client joins the pending
+// list; its training runs on the worker pool at the start of the next Step.
+func (e *AsyncEngine) dispatch(c int) error {
+	if err := e.locals[c].CopyFrom(e.global); err != nil {
+		return fmt.Errorf("dispatch client %d: %w", c, err)
+	}
+	e.dispatchV[c] = e.version
+	dur := e.speed[c] * (0.5 + e.durRNG[c].Float64())
+	e.pushEvent(asyncEvent{at: e.now + dur, client: c, version: e.version})
+	e.pending = append(e.pending, c)
+	return nil
+}
+
+// pushEvent inserts ev into the completion min-heap.
+func (e *AsyncEngine) pushEvent(ev asyncEvent) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(e.events[i], e.events[parent]) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// popEvent removes and returns the earliest completion.
+func (e *AsyncEngine) popEvent() asyncEvent {
+	top := e.events[0]
+	last := len(e.events) - 1
+	e.events[0] = e.events[last]
+	e.events = e.events[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && eventBefore(e.events[l], e.events[min]) {
+			min = l
+		}
+		if r < last && eventBefore(e.events[r], e.events[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		e.events[i], e.events[min] = e.events[min], e.events[i]
+		i = min
+	}
+	return top
+}
+
+// trainLocal runs worker w's optimizer for E epochs over client c's shard,
+// training the dispatch-time snapshot in place. The optimizer is reseeded
+// from (seed, client, version) on every assignment, so the trajectory is
+// identical whichever worker runs it and for any pool size; the learning
+// rate decays against the global version the task was dispatched at.
+func (e *AsyncEngine) trainLocal(w, c int) asyncSlot {
+	v := e.dispatchV[c]
+	lr := e.cfg.LearningRate
+	if e.cfg.Decay > 0 {
+		lr *= math.Pow(e.cfg.Decay, float64(v))
+	}
+	cfg := ml.SGDConfig{
+		LearningRate: lr,
+		Seed:         e.cfg.Seed ^ uint64(c)<<32 ^ uint64(v),
+	}
+	var err error
+	if e.sgds[w] == nil {
+		e.sgds[w], err = ml.NewSGD(cfg)
+	} else {
+		err = e.sgds[w].Reset(cfg)
+	}
+	if err != nil {
+		return asyncSlot{worker: w, err: err}
+	}
+	if _, err := e.sgds[w].TrainFinal(e.locals[c], e.shards[c], e.cfg.LocalEpochs); err != nil {
+		return asyncSlot{worker: w, err: err}
+	}
+	return asyncSlot{worker: w}
+}
+
+// flush trains every pending dispatch on the bounded worker pool. Workers
+// claim pending slots off a shared atomic cursor; which worker trains which
+// client is scheduling-dependent but harmless (see trainLocal). In steady
+// state exactly one client is pending (the re-dispatch of the previous
+// step's completion), so the flush runs inline and spawns nothing; the
+// initial dispatch of the whole fleet — and any future batched dispatch —
+// fans out across the pool.
+func (e *AsyncEngine) flush(observed bool) (workers int, claims []int, err error) {
+	n := len(e.pending)
+	if n == 0 {
+		return 0, nil, nil
+	}
+	workers = e.parallel
+	if workers > n {
+		workers = n
+	}
+	for len(e.sgds) < workers {
+		e.sgds = append(e.sgds, nil)
+	}
+	if workers <= 1 {
+		workers = 1
+		for _, c := range e.pending {
+			e.slots[c] = e.trainLocal(0, c)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					c := e.pending[i]
+					e.slots[c] = e.trainLocal(w, c)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// claims[w] counts the pending slots worker w trained — the pool
+	// occupancy an observer sees. Built after the pool from the per-slot
+	// worker tags so nothing observer-related is captured by (and therefore
+	// heap-allocated into) the worker closure on unobserved steps.
+	if observed {
+		claims = make([]int, workers)
+		for _, c := range e.pending {
+			if e.slots[c].err == nil {
+				claims[e.slots[c].worker]++
+			}
+		}
+	}
+	for _, c := range e.pending {
+		if e.slots[c].err != nil {
+			err = fmt.Errorf("async client %d: %w", c, e.slots[c].err)
+			break
+		}
+	}
+	e.pending = e.pending[:0]
+	return workers, claims, err
+}
+
+// Step processes one virtual-time completion: flush any pending local
+// trainings through the worker pool, pop the earliest completion off the
+// event queue, and apply its staleness-discounted update.
+//
+// The update commits atomically: the mix is formed in a scratch model and
+// evaluated there, and only if every stage succeeds are the global model,
+// version counter, and history advanced together (and the client
+// re-dispatched). A failed step leaves the model state exactly as it was.
 func (e *AsyncEngine) Step() (AsyncUpdate, error) {
+	// Observability is pay-for-use: with no observer attached the step
+	// takes no timestamps and allocates nothing extra.
 	obs := e.roundObs
 	var pc PhaseClock
 	if obs != nil {
 		pc = NewPhaseClock(e.sampleMem)
 	}
-	// Keep every client busy: dispatch idle clients at the current version.
-	for c := range e.shards {
-		if _, busy := e.inflight[c]; !busy {
-			e.inflight[c] = e.version
+	// First step: every client starts training at version 0, time 0.
+	if !e.started {
+		e.started = true
+		for c := range e.shards {
+			if err := e.dispatch(c); err != nil {
+				return AsyncUpdate{}, err
+			}
 		}
 	}
-	// Complete a uniformly random in-flight task. Map iteration order is
-	// not deterministic, so materialize and index via the RNG.
-	busy := make([]int, 0, len(e.inflight))
-	for c := range e.inflight {
-		busy = append(busy, c)
+	// Train phase: flush the pending dispatches. Every popped completion
+	// was dispatched in an earlier Step, so its snapshot is trained by now.
+	workers, claims, err := e.flush(obs != nil)
+	if err != nil {
+		return AsyncUpdate{}, err
 	}
-	sort.Ints(busy)
-	client := busy[e.rng.Intn(len(busy))]
-	startVersion := e.inflight[client]
-	delete(e.inflight, client)
+	if obs != nil {
+		pc.Lap(PhaseTrain)
+	}
 
-	staleness := e.version - startVersion
+	// Select phase: pop the earliest completion in virtual time.
+	ev := e.popEvent()
+	e.now = ev.at
+	staleness := e.version - ev.version
 	upd := AsyncUpdate{
-		Client:       client,
+		Client:       ev.client,
 		Staleness:    staleness,
+		At:           ev.at,
 		TrainLoss:    math.NaN(),
 		TestAccuracy: math.NaN(),
 	}
-
 	if obs != nil {
 		pc.Lap(PhaseSelect)
 	}
 
 	if e.cfg.MaxStaleness > 0 && staleness > e.cfg.MaxStaleness {
+		// Too stale: discard the trained update (the wasted local work is
+		// the energy cost asynchrony pays here) and restart the client from
+		// the current global.
 		upd.Step = e.version
+		if err := e.dispatch(ev.client); err != nil {
+			return AsyncUpdate{}, err
+		}
 		e.history = append(e.history, upd)
 		if obs != nil {
 			st := pc.Finish(len(e.history) - 1)
-			st.Workers = 1
+			st.Workers = workers
+			st.WorkerClaims = claims
 			st.Dropped = 1
 			obs.ObserveRound(st)
 		}
 		return upd, nil
 	}
 
-	// Local training from the (stale) snapshot the client actually had.
-	// The model at dispatch time is approximated by the current global for
-	// staleness 0 and by a staleness-discounted mix otherwise; training
-	// always starts from the current global in this in-process simulation,
-	// with the staleness discount applied at aggregation — the standard
-	// FedAsync simulation shortcut.
-	lr := e.cfg.LearningRate
-	if e.cfg.Decay > 0 {
-		lr *= math.Pow(e.cfg.Decay, float64(e.tasks))
-	}
-	e.tasks++
-	local := e.global.Clone()
-	sgd, err := ml.NewSGD(ml.SGDConfig{
-		LearningRate: lr,
-		Seed:         e.cfg.Seed ^ uint64(client)<<24 ^ uint64(e.tasks),
-	})
-	if err != nil {
-		return AsyncUpdate{}, err
-	}
-	if _, err := sgd.Train(local, e.shards[client], e.cfg.LocalEpochs); err != nil {
-		return AsyncUpdate{}, fmt.Errorf("async client %d: %w", client, err)
-	}
-	if obs != nil {
-		pc.Lap(PhaseTrain)
-	}
-
+	// Aggregate phase: ω ← (1−α_s)·ω + α_s·ω_k in the scratch model; the
+	// engine's state is untouched until the commit below.
 	alpha := e.cfg.MixWeight / float64(staleness+1)
-	// ω ← (1−α)ω + α·ω_k
-	e.global.Scale(1 - alpha)
-	if err := e.global.AddScaled(alpha, local); err != nil {
+	if err := e.mixScratch.CopyFrom(e.global); err != nil {
 		return AsyncUpdate{}, fmt.Errorf("async mix: %w", err)
 	}
-	e.version++
+	e.mixScratch.Scale(1 - alpha)
+	if err := e.mixScratch.AddScaled(alpha, e.locals[ev.client]); err != nil {
+		return AsyncUpdate{}, fmt.Errorf("async mix: %w", err)
+	}
 	if obs != nil {
 		pc.Lap(PhaseAggregate)
 	}
 
-	upd.Applied = true
-	upd.MixWeight = alpha
-	upd.Step = e.version
-
-	loss, err := e.globalLoss()
+	// Evaluate phase, still against the scratch model.
+	loss, err := e.shardLoss.lossOf(e.mixScratch, e.shards, e.totalSamples, e.evalParallel)
 	if err != nil {
-		return AsyncUpdate{}, err
+		return AsyncUpdate{}, fmt.Errorf("async step %d: %w", e.version, err)
 	}
 	upd.TrainLoss = loss
 	if e.test != nil {
-		acc, err := ml.Accuracy(e.global, e.test)
+		acc, err := e.testEval.Accuracy(e.mixScratch, e.test)
 		if err != nil {
-			return AsyncUpdate{}, err
+			return AsyncUpdate{}, fmt.Errorf("async step %d accuracy: %w", e.version, err)
 		}
 		upd.TestAccuracy = acc
 	}
 	if obs != nil {
 		pc.Lap(PhaseEvaluate)
 	}
+
+	// Commit model, version, history, and the client's re-dispatch together.
+	if err := e.global.CopyFrom(e.mixScratch); err != nil {
+		return AsyncUpdate{}, fmt.Errorf("async commit: %w", err)
+	}
+	e.version++
+	upd.Applied = true
+	upd.MixWeight = alpha
+	upd.Step = e.version
+	if err := e.dispatch(ev.client); err != nil {
+		return AsyncUpdate{}, err
+	}
 	e.history = append(e.history, upd)
 	if obs != nil {
 		st := pc.Finish(len(e.history) - 1)
-		st.Workers = 1
+		st.Workers = workers
+		st.WorkerClaims = claims
 		obs.ObserveRound(st)
 	}
 	return upd, nil
@@ -293,21 +591,6 @@ func (e *AsyncEngine) Run(stop func(history []AsyncUpdate) bool) ([]AsyncUpdate,
 		}
 	}
 	return e.history[start:], nil
-}
-
-// globalLoss evaluates F(ω) over all shards, weighted by shard size.
-func (e *AsyncEngine) globalLoss() (float64, error) {
-	var weighted float64
-	var total int
-	for i, s := range e.shards {
-		l, err := ml.Loss(e.global, s)
-		if err != nil {
-			return 0, fmt.Errorf("shard %d loss: %w", i, err)
-		}
-		weighted += l * float64(s.Len())
-		total += s.Len()
-	}
-	return weighted / float64(total), nil
 }
 
 // MaxAsyncSteps stops after n steps (applied or dropped).

@@ -189,13 +189,10 @@ type Engine struct {
 	results     []localResult
 	updates     []Update
 	aggScratch  *ml.Model
-	// Evaluation scratch: one Evaluator per eval worker for the shard map,
-	// per-shard loss/error buffers reduced in shard order, and a chunk-
-	// parallel evaluator for the test set.
-	shardEvals  []*ml.Evaluator
-	shardLosses []float64
-	shardErrs   []error
-	testEval    *ml.Evaluator
+	// Evaluation scratch: the shard-parallel loss map-reduce (shared with
+	// AsyncEngine) and a chunk-parallel evaluator for the test set.
+	shardLoss shardLossMap
+	testEval  *ml.Evaluator
 }
 
 // Option customizes an Engine.
@@ -301,8 +298,7 @@ func NewEngine(cfg Config, shards []*dataset.Dataset, opts ...Option) (*Engine, 
 		e.evalParallel = runtime.GOMAXPROCS(0)
 	}
 	e.aggScratch = ml.NewModel(classes, dim, act)
-	e.shardLosses = make([]float64, len(shards))
-	e.shardErrs = make([]error, len(shards))
+	e.shardLoss.init(len(shards))
 	return e, nil
 }
 
@@ -555,51 +551,11 @@ func (e *Engine) GlobalLoss() (float64, error) {
 	return e.globalLossOf(e.global)
 }
 
-// globalLossOf runs the shard-parallel map-reduce for F(ω): up to
-// evalParallel workers each own an Evaluator (whose chunk-GEMM forward
-// scratch is reused across rounds) and claim whole shards statically; the
-// weighted per-shard losses
-// are reduced in shard order, so the value is bit-identical for every
-// worker count. A min-work spawn gate (ml.GatedWorkers, à la
-// mat.minRowsPerWorker) keeps tiny-shard evaluations sequential, where
-// goroutine overhead would dominate the row work.
+// globalLossOf runs the shard-parallel map-reduce for F(ω) over up to
+// evalParallel workers; see shardLossMap for the bit-identity and spawn-gate
+// contracts.
 func (e *Engine) globalLossOf(m *ml.Model) (float64, error) {
-	workers := ml.GatedWorkers(e.totalSamples, e.evalParallel)
-	if workers > len(e.shards) {
-		workers = len(e.shards)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for len(e.shardEvals) < workers {
-		e.shardEvals = append(e.shardEvals, ml.NewEvaluator(1))
-	}
-	body := func(w int) {
-		for i := w; i < len(e.shards); i += workers {
-			e.shardLosses[i], e.shardErrs[i] = e.shardEvals[w].Loss(m, e.shards[i])
-		}
-	}
-	if workers == 1 {
-		body(0)
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				body(w)
-			}(w)
-		}
-		wg.Wait()
-	}
-	var weighted float64
-	for i, s := range e.shards {
-		if e.shardErrs[i] != nil {
-			return 0, fmt.Errorf("shard %d loss: %w", i, e.shardErrs[i])
-		}
-		weighted += e.shardLosses[i] * float64(s.Len())
-	}
-	return weighted / float64(e.totalSamples), nil
+	return e.shardLoss.lossOf(m, e.shards, e.totalSamples, e.evalParallel)
 }
 
 // StopCondition inspects the history after each round and reports whether

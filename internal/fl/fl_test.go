@@ -12,7 +12,7 @@ import (
 
 // quickShards builds a small federated setup: 2000 synthetic samples split
 // IID across 10 servers, plus a test set.
-func quickShards(t *testing.T, servers int) ([]*dataset.Dataset, *dataset.Dataset) {
+func quickShards(t testing.TB, servers int) ([]*dataset.Dataset, *dataset.Dataset) {
 	t.Helper()
 	cfg := dataset.QuickSyntheticConfig()
 	cfg.Samples = 1000

@@ -30,14 +30,16 @@ type Phase uint8
 
 const (
 	// PhaseSelect covers client selection plus per-round scratch sizing
-	// (networked: roster snapshot, selection, and request encoding).
+	// (async: the virtual-time event-queue pop; networked: roster snapshot,
+	// selection, and request encoding).
 	PhaseSelect Phase = iota
-	// PhaseTrain covers local training across the worker pool (networked:
-	// the request/reply exchange with every selected edge, including
-	// in-round rejoin repair).
+	// PhaseTrain covers local training across the worker pool (async: the
+	// flush of pending dispatches; networked: the request/reply exchange
+	// with every selected edge, including in-round rejoin repair).
 	PhaseTrain
 	// PhaseAggregate covers building the update set and the aggregation
-	// proper (paper Eq. 2).
+	// proper (paper Eq. 2; async: the staleness-discounted mix — skipped,
+	// along with evaluate, on staleness-dropped steps).
 	PhaseAggregate
 	// PhaseEvaluate covers post-aggregation global loss and test accuracy.
 	PhaseEvaluate
@@ -78,12 +80,17 @@ type RoundStats struct {
 	// supports.
 	RoundsPerSec float64 `json:"rounds_per_sec"`
 	// Workers is the training fan-out actually used (pool size after the
-	// K cap; networked: number of selected clients exchanged with).
+	// K cap; async: pool size of the step's pending-dispatch flush, 0 when
+	// nothing was pending; networked: number of selected clients exchanged
+	// with).
 	Workers int `json:"workers"`
-	// WorkerClaims is per-pool-worker occupancy: how many selection slots
-	// each worker trained this round (sums to K). Nil when the engine has
-	// no pool (async, networked). The slice is only valid for the duration
-	// of the ObserveRound call.
+	// WorkerClaims is per-pool-worker occupancy: how many training slots
+	// each worker claimed this round (synchronous: selection slots, sums to
+	// K; async: pending dispatches flushed this step). Nil when the engine
+	// has no pool (networked) or nothing was pending. The slice is only
+	// valid for the duration of the ObserveRound call. Claims are the one
+	// scheduling-dependent field: which worker trains which slot varies
+	// with goroutine timing even though the trained models never do.
 	WorkerClaims []int `json:"worker_claims,omitempty"`
 	// MemSampled reports whether the engine sampled runtime.ReadMemStats
 	// around the round (opt-in: SetMemSampling). The deltas below are

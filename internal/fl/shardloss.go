@@ -1,0 +1,93 @@
+package fl
+
+import (
+	"fmt"
+	"sync"
+
+	"eefei/internal/dataset"
+	"eefei/internal/ml"
+)
+
+// shardLossMap is the shard-parallel global-loss map-reduce shared by the
+// synchronous Engine and the AsyncEngine: up to `workers` goroutines each own
+// an ml.Evaluator (whose chunk-GEMM forward scratch is reused across rounds)
+// and claim whole shards statically (worker w takes shards w, w+W, …); the
+// weighted per-shard losses are reduced in shard order, so the value is
+// bit-identical for every worker count. A min-work spawn gate
+// (ml.GatedWorkers, à la mat.minRowsPerWorker) keeps tiny-shard evaluations
+// sequential, where goroutine overhead would dominate the row work.
+//
+// The in-flight pass state (model, shards, worker count) lives on the struct
+// rather than in closures so the sequential path — the one the async engine's
+// 0-alloc Step pin exercises — performs no heap allocations after warm-up.
+type shardLossMap struct {
+	evals  []*ml.Evaluator
+	losses []float64
+	errs   []error
+
+	// In-flight pass; valid only while lossOf runs.
+	m       *ml.Model
+	shards  []*dataset.Dataset
+	workers int
+}
+
+// init sizes the per-shard reduction buffers for n shards.
+func (s *shardLossMap) init(n int) {
+	s.losses = make([]float64, n)
+	s.errs = make([]error, n)
+}
+
+// lossOf evaluates the global objective F(ω) = Σ_k (n_k/n)·F_k(ω) of m over
+// the shards, fanning out over at most `workers` goroutines (gated by total
+// row work and the shard count).
+func (s *shardLossMap) lossOf(m *ml.Model, shards []*dataset.Dataset, totalSamples, workers int) (float64, error) {
+	workers = ml.GatedWorkers(totalSamples, workers)
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(s.evals) < workers {
+		s.evals = append(s.evals, ml.NewEvaluator(1))
+	}
+	s.m, s.shards, s.workers = m, shards, workers
+	if workers == 1 {
+		s.worker(0)
+	} else {
+		s.runParallel(workers)
+	}
+	s.m, s.shards = nil, nil
+	var weighted float64
+	for i, sh := range shards {
+		if s.errs[i] != nil {
+			return 0, fmt.Errorf("shard %d loss: %w", i, s.errs[i])
+		}
+		weighted += s.losses[i] * float64(sh.Len())
+	}
+	return weighted / float64(totalSamples), nil
+}
+
+// worker computes worker w's statically assigned shards of the in-flight
+// pass. Static assignment gives each evaluator exactly one owner.
+func (s *shardLossMap) worker(w int) {
+	for i := w; i < len(s.shards); i += s.workers {
+		s.losses[i], s.errs[i] = s.evals[w].Loss(s.m, s.shards[i])
+	}
+}
+
+// runParallel fans the in-flight pass out over the given worker count. Kept
+// out of line so the goroutine closures (and the WaitGroup) heap-allocate
+// only when workers actually spawn; the sequential path stays
+// allocation-free.
+func (s *shardLossMap) runParallel(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.worker(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -3,8 +3,9 @@
 # BENCH_<date>.json perf artifact (ns/op, B/op, allocs/op per benchmark).
 #
 # Packages covered: the root package (paper figure/table pins, including the
-# flnet fault-injection round), internal/fl (FedAvg round + global loss),
-# internal/ml (evaluator + SGD epochs), and internal/mat (GEMM, matvec, RNG).
+# flnet fault-injection round), internal/fl (FedAvg round, async step, global
+# loss), internal/ml (evaluator + SGD epochs), and internal/mat (GEMM, matvec,
+# RNG).
 #
 # The suite runs in two passes with different iteration counts:
 #

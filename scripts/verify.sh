@@ -25,11 +25,14 @@ go test -race ./...
 echo "== observer determinism/race (explicit) =="
 # Contracts pinned under the race detector even if the full -race sweep
 # above is ever narrowed: bit-identical training with a mutating
-# RoundObserver attached (pool claims counters included), and the batched
-# GEMM forward pass matching the per-sample sequential reference bit for
-# bit at every worker count (kernel layer in internal/mat, metric/gradient
-# layer in internal/ml).
-go test -race -run 'Observer|SpawnGate|TraceWriter' ./internal/fl ./internal/flnet
+# RoundObserver attached (pool claims counters included), the async
+# engine's pool-size independence (same seed, worker counts 1..GOMAXPROCS,
+# byte-identical weights and histories — the virtual-time event queue, not
+# goroutine order, decides the update stream), and the batched GEMM forward
+# pass matching the per-sample sequential reference bit for bit at every
+# worker count (kernel layer in internal/mat, metric/gradient layer in
+# internal/ml).
+go test -race -run 'Observer|SpawnGate|TraceWriter|AsyncPoolBitIdentical' ./internal/fl ./internal/flnet
 go test -race -run 'BitIdentical|Forward|Metrics' ./internal/mat ./internal/ml
 
 echo "== examples =="
@@ -39,6 +42,7 @@ go run ./examples/federated_mnist | tail -4
 go run ./examples/networked_fl | tail -3
 go run ./examples/networked_fl -fault-drop-kb 30 | tail -3
 go run ./examples/async_fl | tail -3
+go run ./examples/async_fl -workers 1 -steps 40 | tail -3
 
 echo "== experiments (quick scale) =="
 go run ./cmd/experiments
@@ -69,7 +73,9 @@ echo "== bench regression gate =="
 # Allocation counts are deterministic for hot-path benchmarks: each warms
 # up its worker pool before b.ResetTimer(), and 25 iterations amortize the
 # scheduler's occasional cold goroutine spawn, so allocs/op is exactly
-# reproducible and tier 2 catches real regressions. Experiment-harness
+# reproducible and tier 2 catches real regressions. That includes the
+# async hot path: BenchmarkAsyncStep/eval=1 is pinned at 0 allocs/op (the
+# engine-side contract behind TestAsyncStepAllocationFree). Experiment-harness
 # benchmarks (root Figure*/Ablation*/Table*) run a whole multi-round sweep
 # per op and their allocs/op genuinely jitters — they are not re-measured
 # here and -skip exempts them from the coverage rule; the 1x smoke run
