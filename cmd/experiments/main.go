@@ -6,7 +6,7 @@
 //	experiments -scale paper       # prototype-scale dimensions (slow)
 //
 // Experiment ids: table1, table2, fig3, fig4, fig5, fig6, ablation, theory,
-// constants.
+// constants, calibrate.
 package main
 
 import (
@@ -263,6 +263,23 @@ func run(args []string) error {
 		fmt.Fprintf(out, "  ‖ω0−ω*‖²                          = %.6g\n", phys.InitialDistanceSq)
 		fmt.Fprintf(out, "aggregated (α0=α1=α2=1): A0=%.6g A1=%.6g A2=%.6g\n",
 			bound.A0, bound.A1, bound.A2)
+		fmt.Fprintf(out, "(%.2fs)\n", time.Since(start).Seconds())
+	}
+
+	if selected("calibrate") {
+		section("calibrate")
+		s, err := getSetup()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := experiments.CompareCalibration(s, 4, 10, 5, 0.01, *seed)
+		if err != nil {
+			return fmt.Errorf("calibrate: %w", err)
+		}
+		if err := res.Render(out); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "(%.2fs)\n", time.Since(start).Seconds())
 	}
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"eefei/internal/dataset"
+	"eefei/internal/energy"
 	"eefei/internal/fl"
 	"eefei/internal/flnet"
 )
@@ -56,6 +57,7 @@ func run(args []string) error {
 		retryMax     = fs.Duration("retry-max", 5*time.Second, "listen retry backoff cap")
 		trace        = fs.String("trace", "", "write per-round phase timings as JSON lines to this file")
 		traceMem     = fs.Bool("trace-mem", false, "sample runtime.MemStats per round into the trace (requires -trace)")
+		calibrate    = fs.Bool("calibrate", false, "accumulate a measured per-phase energy ledger from round timings and report drift vs the analytic Pi model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +129,7 @@ func run(args []string) error {
 	defer coord.Shutdown()
 
 	var tw *fl.TraceWriter
+	var observers []fl.RoundObserver
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -134,8 +137,22 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		tw = fl.NewTraceWriter(f)
-		coord.SetRoundObserver(tw)
+		observers = append(observers, tw)
 		coord.SetMemSampling(*traceMem)
+	}
+	dm := energy.DefaultPiDeviceModel()
+	var cal *energy.Calibrator
+	if *calibrate {
+		// Each edge holds an even shard of the synthetic universe; that shard
+		// size is the n the training-law attribution uses.
+		cal, err = energy.NewCalibrator(dm.Power, *e, *samples / *servers)
+		if err != nil {
+			return err
+		}
+		observers = append(observers, cal)
+	}
+	if obs := fl.Tee(observers...); obs != nil {
+		coord.SetRoundObserver(obs)
 	}
 
 	fmt.Printf("fedcoord: listening on %s, waiting for %d edge servers…\n", coord.Addr(), *servers)
@@ -181,6 +198,19 @@ func run(args []string) error {
 			return fmt.Errorf("trace: %w", err)
 		}
 		fmt.Printf("fedcoord: trace: %d rounds written to %s\n", tw.Lines(), *trace)
+	}
+	if cal != nil {
+		led := cal.Ledger()
+		fmt.Printf("\nmeasured energy (calibrated from %d observed rounds):\n", cal.Rounds())
+		for _, p := range energy.Phases {
+			fmt.Printf("  %-9s %10.4f J over %v\n", p, led.Phase(p), cal.PhaseWallClock(p))
+		}
+		fmt.Printf("  %-9s %10.4f J\n", "total", led.Total())
+		fmt.Printf("\nmeasured vs analytic Pi time model:\n")
+		for _, d := range cal.Drift(dm.Time) {
+			fmt.Printf("  %-9s measured %12v  modeled %12v  drift %+7.1f%%\n",
+				d.Phase, d.Measured, d.Modeled, d.Pct)
+		}
 	}
 	return nil
 }

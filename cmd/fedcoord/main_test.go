@@ -33,7 +33,7 @@ func TestFullClusterViaCommands(t *testing.T) {
 		defer wg.Done()
 		coordErr = run([]string{
 			"-listen", addr, "-servers", "2", "-k", "2", "-e", "2",
-			"-rounds", "2", "-samples", "200",
+			"-rounds", "2", "-samples", "200", "-calibrate",
 		})
 	}()
 

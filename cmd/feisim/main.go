@@ -38,6 +38,7 @@ func run(args []string) error {
 		collect   = fs.Bool("collect", false, "pay IoT data-collection energy each round")
 		seed      = fs.Uint64("seed", 1, "run seed")
 		trace     = fs.String("trace", "", "write per-round phase timings as JSON lines to this file")
+		calibrate = fs.Bool("calibrate", false, "accumulate a measured per-phase energy ledger from round timings and report drift vs the analytic device model")
 		traceMem  = fs.Bool("trace-mem", false, "sample runtime.MemStats per round into the trace (requires -trace; slows rounds)")
 		async     = fs.Bool("async", false, "asynchronous staleness-weighted scheduling instead of synchronous rounds")
 		mix       = fs.Float64("mix", 0.6, "async base mixing weight α (with -async)")
@@ -67,7 +68,7 @@ func run(args []string) error {
 	}
 	if *async {
 		return runAsync(setup, *e, *mix, *maxStale, *workers, *target,
-			*maxRounds, *seed, *trace, *traceMem)
+			*maxRounds, *seed, *trace, *traceMem, *calibrate)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -87,6 +88,7 @@ func run(args []string) error {
 		return err
 	}
 	var tw *fl.TraceWriter
+	var observers []fl.RoundObserver
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -94,8 +96,19 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		tw = fl.NewTraceWriter(f)
-		system.Engine().SetRoundObserver(tw)
+		observers = append(observers, tw)
 		system.Engine().SetMemSampling(*traceMem)
+	}
+	var cal *energy.Calibrator
+	if *calibrate {
+		cal, err = energy.NewCalibrator(cfg.Device.Power, *e, setup.SamplesPerServer())
+		if err != nil {
+			return err
+		}
+		observers = append(observers, cal)
+	}
+	if obs := fl.Tee(observers...); obs != nil {
+		system.Engine().SetRoundObserver(obs)
 	}
 	fmt.Printf("feisim: %v scale, N=%d servers, K=%d, E=%d, n̄=%d, target %.2f\n",
 		scale, setup.Servers, *k, *e, setup.SamplesPerServer(), *target)
@@ -127,7 +140,29 @@ func run(args []string) error {
 	if n := len(res.History); n > 0 {
 		fmt.Printf("  per round %10.2f J\n", res.TotalJoules()/float64(n))
 	}
+	if cal != nil {
+		printCalibration(cal, cfg.Device.Time)
+	}
 	return nil
+}
+
+// printCalibration reports the measured-energy ledger a Calibrator
+// accumulated from real round timings, and the per-phase drift of those
+// measurements against the analytic TimeModel the run was planned with. The
+// measured ledger prices host wall-clock, so its joules are not comparable to
+// the virtual-testbed ledger above — the drift column is the actionable part.
+func printCalibration(cal *energy.Calibrator, tm energy.TimeModel) {
+	led := cal.Ledger()
+	fmt.Printf("\nmeasured energy (calibrated from %d observed rounds):\n", cal.Rounds())
+	for _, p := range energy.Phases {
+		fmt.Printf("  %-9s %10.4f J over %v\n", p, led.Phase(p), cal.PhaseWallClock(p))
+	}
+	fmt.Printf("  %-9s %10.4f J\n", "total", led.Total())
+	fmt.Printf("\nmeasured vs analytic time model:\n")
+	for _, d := range cal.Drift(tm) {
+		fmt.Printf("  %-9s measured %12v  modeled %12v  drift %+7.1f%%\n",
+			d.Phase, d.Measured, d.Modeled, d.Pct)
+	}
 }
 
 // runAsync is the -async path: a FedAsync-style staleness-weighted run over
@@ -138,7 +173,7 @@ func run(args []string) error {
 // that wasted work is exactly the price the staleness cap pays to bound
 // model divergence.
 func runAsync(setup *experiments.Setup, e int, mix float64, maxStale, workers int,
-	target float64, maxSteps int, seed uint64, trace string, traceMem bool) error {
+	target float64, maxSteps int, seed uint64, trace string, traceMem, calibrate bool) error {
 	// Rescale the sync per-round decay to its per-version equivalent: the
 	// async version counter advances ~|shards|× faster than a synchronous
 	// round of fleet time (same mapping as experiments.CompareAsync).
@@ -160,6 +195,7 @@ func runAsync(setup *experiments.Setup, e int, mix float64, maxStale, workers in
 		return err
 	}
 	var tw *fl.TraceWriter
+	var observers []fl.RoundObserver
 	if trace != "" {
 		f, err := os.Create(trace)
 		if err != nil {
@@ -167,8 +203,20 @@ func runAsync(setup *experiments.Setup, e int, mix float64, maxStale, workers in
 		}
 		defer f.Close()
 		tw = fl.NewTraceWriter(f)
-		engine.SetRoundObserver(tw)
+		observers = append(observers, tw)
 		engine.SetMemSampling(traceMem)
+	}
+	dm := energy.DefaultPiDeviceModel()
+	var cal *energy.Calibrator
+	if calibrate {
+		cal, err = energy.NewCalibrator(dm.Power, e, setup.SamplesPerServer())
+		if err != nil {
+			return err
+		}
+		observers = append(observers, cal)
+	}
+	if obs := fl.Tee(observers...); obs != nil {
+		engine.SetRoundObserver(obs)
 	}
 	fmt.Printf("feisim: async, N=%d servers, E=%d, α=%.2f, staleness cap %d, target %.2f\n",
 		len(setup.Shards), e, mix, maxStale, target)
@@ -204,12 +252,14 @@ func runAsync(setup *experiments.Setup, e int, mix float64, maxStale, workers in
 	fmt.Printf("final accuracy    %.4f\n", last.TestAccuracy)
 	fmt.Printf("virtual time      %.2f units\n", last.At)
 
-	dm := energy.DefaultPiDeviceModel()
 	perUpdate := dm.DownloadEnergy() + dm.TrainEnergy(e, setup.SamplesPerServer()) + dm.UploadEnergy()
 	total := float64(len(updates)) * perUpdate
 	fmt.Printf("\nprojected energy (no waiting phase):\n")
 	fmt.Printf("  per update %9.2f J\n", perUpdate)
 	fmt.Printf("  wasted     %9.2f J (stale-dropped trainings)\n", float64(dropped)*perUpdate)
 	fmt.Printf("  total      %9.2f J\n", total)
+	if cal != nil {
+		printCalibration(cal, dm.Time)
+	}
 	return nil
 }

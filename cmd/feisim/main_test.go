@@ -39,6 +39,32 @@ func TestRunAsync(t *testing.T) {
 	}
 }
 
+func TestRunCalibrate(t *testing.T) {
+	// -calibrate with and without -trace: the calibrator rides next to the
+	// trace writer via fl.Tee in the first run and alone in the second.
+	trace := t.TempDir() + "/run.jsonl"
+	args := []string{"-k", "2", "-e", "2", "-max-rounds", "2", "-target", "0.999",
+		"-calibrate", "-trace", trace}
+	if err := run(args); err != nil {
+		t.Fatalf("run -calibrate -trace: %v", err)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Errorf("trace not written alongside calibration: %v", err)
+	}
+	args = []string{"-k", "2", "-e", "2", "-max-rounds", "2", "-target", "0.999", "-calibrate"}
+	if err := run(args); err != nil {
+		t.Fatalf("run -calibrate: %v", err)
+	}
+}
+
+func TestRunAsyncCalibrate(t *testing.T) {
+	args := []string{"-async", "-e", "1", "-max-rounds", "4", "-target", "0.999",
+		"-workers", "1", "-calibrate"}
+	if err := run(args); err != nil {
+		t.Fatalf("run -async -calibrate: %v", err)
+	}
+}
+
 func TestRunBadScale(t *testing.T) {
 	if err := run([]string{"-scale", "galactic"}); err == nil {
 		t.Error("bad scale must error")

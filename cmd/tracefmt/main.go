@@ -7,7 +7,13 @@
 // Usage:
 //
 //	go run ./cmd/tracefmt out.jsonl
+//	go run ./cmd/tracefmt -energy out.jsonl
 //	go run ./cmd/feisim -trace /dev/stdout ... | go run ./cmd/tracefmt
+//
+// With -energy the report gains a measured per-phase energy table: each
+// round's phase durations are replayed through an energy.Calibrator, pricing
+// them with the canonical Raspberry Pi power model (paper Table I), so a
+// persisted trace answers "how many joules did each phase cost" offline.
 //
 // With no argument the trace is read from stdin. Records are one JSON object
 // per line; blank lines are skipped, anything else malformed is a hard error
@@ -15,40 +21,61 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
+	"eefei/internal/energy"
 	"eefei/internal/fl"
 )
 
 func main() {
-	var in io.Reader = os.Stdin
-	name := "<stdin>"
-	switch len(os.Args) {
-	case 1:
-	case 2:
-		f, err := os.Open(os.Args[1])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracefmt:", err)
-			os.Exit(1)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
 		}
-		defer f.Close()
-		in, name = f, os.Args[1]
-	default:
-		fmt.Fprintln(os.Stderr, "usage: tracefmt [trace.jsonl]")
-		os.Exit(2)
-	}
-	if err := summarize(os.Stdout, in); err != nil {
-		fmt.Fprintf(os.Stderr, "tracefmt: %s: %v\n", name, err)
+		fmt.Fprintln(os.Stderr, "tracefmt:", err)
 		os.Exit(1)
 	}
+}
+
+// run is the testable entry point: parses flags, opens the trace, and writes
+// the report to stdout.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracefmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tracefmt [-energy] [trace.jsonl]")
+		fs.PrintDefaults()
+	}
+	withEnergy := fs.Bool("energy", false,
+		"append a measured per-phase energy table (canonical Pi power model)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = stdin
+	name := "<stdin>"
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, name = f, fs.Arg(0)
+	default:
+		fs.Usage()
+		return flag.ErrHelp
+	}
+	if err := report(stdout, in, *withEnergy); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
 }
 
 var errEmptyTrace = errors.New("no trace records")
@@ -57,13 +84,22 @@ var errEmptyTrace = errors.New("no trace records")
 // remainder Total accumulates beyond the four measured phases.
 var phaseNames = []string{"select", "train", "aggregate", "evaluate", "other"}
 
-// summarize reads a JSONL round trace from r and writes the phase-share
-// report to w.
-func summarize(w io.Writer, r io.Reader) error {
+// report decodes a JSONL round trace from r and writes the phase-share
+// summary — plus, when withEnergy is set, the measured energy table — to w.
+func report(w io.Writer, r io.Reader, withEnergy bool) error {
 	stats, err := readTrace(r)
 	if err != nil {
 		return err
 	}
+	summarize(w, stats)
+	if withEnergy {
+		return energyTable(w, stats)
+	}
+	return nil
+}
+
+// summarize writes the phase-share report for the decoded rounds to w.
+func summarize(w io.Writer, stats []fl.RoundStats) {
 	n := len(stats)
 	perPhase := make(map[string][]time.Duration, len(phaseNames))
 	var grand time.Duration
@@ -107,27 +143,46 @@ func summarize(w io.Writer, r io.Reader) error {
 		fmt.Fprintf(w, "%-10s %14s %6.1f%% %14s %14s\n",
 			name, totals[name], share, percentile(ds, 50), percentile(ds, 99))
 	}
+}
+
+// energyTable replays the decoded rounds through an energy.Calibrator and
+// writes the measured per-phase joules table: the coordination phases map to
+// device energy phases via energy.MapRoundPhase (select→waiting,
+// aggregate→upload, evaluate→download; the commit remainder is charged at
+// waiting power).
+func energyTable(w io.Writer, stats []fl.RoundStats) error {
+	cal, err := energy.NewCalibrator(energy.DefaultPiPowerModel(), 1, 0)
+	if err != nil {
+		return err
+	}
+	cal.Replay(stats)
+	led := cal.Ledger()
+	fmt.Fprintf(w, "\nmeasured energy (canonical Pi power model):\n")
+	fmt.Fprintf(w, "%-10s %14s %12s %8s\n", "phase", "time", "joules", "watts")
+	var wall time.Duration
+	for _, p := range energy.Phases {
+		d := cal.PhaseWallClock(p)
+		j := led.Phase(p)
+		watts := 0.0
+		if secs := d.Seconds(); secs > 0 {
+			watts = j / secs
+		}
+		fmt.Fprintf(w, "%-10s %14s %12.3f %8.3f\n", p.String(), d, j, watts)
+		wall += d
+	}
+	fmt.Fprintf(w, "%-10s %14s %12.3f\n", "total", wall, led.Total())
+	if n := led.Rounds(); n > 0 {
+		fmt.Fprintf(w, "per round:  %.3f J\n", led.Total()/float64(n))
+	}
 	return nil
 }
 
-// readTrace decodes one RoundStats per non-blank line, reporting the line
-// number of the first malformed record.
+// readTrace decodes one RoundStats per non-blank line via fl.ReadTrace,
+// keeping tracefmt's contract that an empty capture is a hard error rather
+// than an empty report.
 func readTrace(r io.Reader) ([]fl.RoundStats, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var stats []fl.RoundStats
-	for line := 1; sc.Scan(); line++ {
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		var s fl.RoundStats
-		if err := json.Unmarshal([]byte(text), &s); err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
-		}
-		stats = append(stats, s)
-	}
-	if err := sc.Err(); err != nil {
+	stats, err := fl.ReadTrace(r)
+	if err != nil {
 		return nil, err
 	}
 	if len(stats) == 0 {

@@ -21,11 +21,64 @@ func TestSummarizeGolden(t *testing.T) {
 		t.Fatalf("read golden: %v", err)
 	}
 	var out strings.Builder
-	if err := summarize(&out, trace); err != nil {
-		t.Fatalf("summarize: %v", err)
+	if err := report(&out, trace, false); err != nil {
+		t.Fatalf("report: %v", err)
 	}
 	if out.String() != string(want) {
 		t.Errorf("summary differs from golden.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestEnergyGolden pins the -energy report for the same checked-in trace:
+// the shares/p50/p99 summary followed by the measured per-phase joules table
+// priced with the canonical Pi power model via energy.Calibrator.Replay.
+func TestEnergyGolden(t *testing.T) {
+	trace, err := os.Open("testdata/sample_trace.jsonl")
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer trace.Close()
+	want, err := os.ReadFile("testdata/sample_energy.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var out strings.Builder
+	if err := report(&out, trace, true); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("energy report differs from golden.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+	for _, col := range []string{"measured energy", "joules", "watts", "per round:"} {
+		if !strings.Contains(out.String(), col) {
+			t.Errorf("energy report missing %q", col)
+		}
+	}
+}
+
+// TestRunEnergyFlag drives the CLI entry point end to end: -energy on the
+// checked-in trace must succeed and emit both report sections, and a plain
+// run must not emit the energy table.
+func TestRunEnergyFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-energy", "testdata/sample_trace.jsonl"}, nil, &out, &errOut); err != nil {
+		t.Fatalf("run -energy: %v (stderr %q)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "measured energy") {
+		t.Errorf("-energy output missing the energy table:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"testdata/sample_trace.jsonl"}, nil, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "measured energy") {
+		t.Error("plain run must not emit the energy table")
+	}
+	if err := run([]string{"a", "b"}, nil, &out, &errOut); err == nil {
+		t.Error("two positional args must be rejected")
+	}
+	if err := run([]string{"testdata/does_not_exist.jsonl"}, nil, &out, &errOut); err == nil {
+		t.Error("missing trace file must be an error")
 	}
 }
 
@@ -44,8 +97,8 @@ func TestSummarizeAsyncGolden(t *testing.T) {
 		t.Fatalf("read golden: %v", err)
 	}
 	var out strings.Builder
-	if err := summarize(&out, trace); err != nil {
-		t.Fatalf("summarize: %v", err)
+	if err := report(&out, trace, false); err != nil {
+		t.Fatalf("report: %v", err)
 	}
 	if out.String() != string(want) {
 		t.Errorf("summary differs from golden.\n--- got ---\n%s--- want ---\n%s", out.String(), want)
@@ -58,7 +111,7 @@ func TestSummarizeAsyncGolden(t *testing.T) {
 func TestSummarizeRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
 	for _, in := range []string{"", "\n\n  \n"} {
-		if err := summarize(&out, strings.NewReader(in)); !errors.Is(err, errEmptyTrace) {
+		if err := report(&out, strings.NewReader(in), false); !errors.Is(err, errEmptyTrace) {
 			t.Errorf("empty input %q = %v, want errEmptyTrace", in, err)
 		}
 	}
@@ -69,7 +122,7 @@ func TestSummarizeReportsBadLineNumber(t *testing.T) {
 
 not json at all`
 	var out strings.Builder
-	err := summarize(&out, strings.NewReader(in))
+	err := report(&out, strings.NewReader(in), false)
 	if err == nil || !strings.Contains(err.Error(), "line 3") {
 		t.Errorf("malformed line error = %v, want mention of line 3", err)
 	}
@@ -80,8 +133,8 @@ func TestSummarizeSingleRound(t *testing.T) {
 	// remainder and shares sum to 100%.
 	in := `{"round":0,"select_ns":1000,"train_ns":5000,"aggregate_ns":0,"evaluate_ns":0,"total_ns":10000,"rounds_per_sec":100000}`
 	var out strings.Builder
-	if err := summarize(&out, strings.NewReader(in)); err != nil {
-		t.Fatalf("summarize: %v", err)
+	if err := report(&out, strings.NewReader(in), false); err != nil {
+		t.Fatalf("report: %v", err)
 	}
 	got := out.String()
 	for _, want := range []string{

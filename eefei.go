@@ -74,6 +74,11 @@ type (
 	Trace = energy.Trace
 	// Phase identifies waiting/download/train/upload.
 	Phase = energy.Phase
+	// Calibrator converts measured round timings into a per-phase energy
+	// ledger and a refitted TimeModel (implements RoundObserver).
+	Calibrator = energy.Calibrator
+	// PhaseDrift is one phase's measured-vs-modeled duration comparison.
+	PhaseDrift = energy.PhaseDrift
 
 	// UplinkConfig is the IoT data-collection model.
 	UplinkConfig = iot.UplinkConfig
@@ -194,6 +199,14 @@ func Simulate(cfg SimConfig, shards []*Dataset, test *Dataset, stop StopConditio
 func NewSimulation(cfg SimConfig, shards []*Dataset, test *Dataset) (*sim.System, error) {
 	return sim.New(cfg, shards, test)
 }
+
+// Measured-energy calibration, re-exported. NewCalibrator builds the
+// RoundObserver that closes the trace→energy loop (see internal/energy);
+// ReadTrace decodes a persisted -trace JSONL capture for Calibrator.Replay.
+var (
+	NewCalibrator = energy.NewCalibrator
+	ReadTrace     = fl.ReadTrace
+)
 
 // Stop-condition constructors, re-exported.
 var (

@@ -75,4 +75,42 @@ func main() {
 	}
 	fmt.Printf("grid-search cross-check: K=%d, E=%d (%.1f J)\n",
 		grid.K, grid.E, grid.PredictedJoules)
+
+	// Step 6 — close the loop. A live deployment doesn't re-run the bench-top
+	// procedure: it feeds each round's measured phase timings through an
+	// energy.Calibrator (an fl.RoundObserver) and refits the TimeModel from
+	// what the fleet actually did. Here the "fleet" is the analytic model
+	// itself, so the refit must land back on it — drift ≈ 0 is the proof the
+	// round-trip is lossless.
+	cal, err := energy.NewCalibrator(dm.Power, 1, 0)
+	if err != nil {
+		log.Fatalf("calibrator: %v", err)
+	}
+	fmt.Println("\nclosing the loop: replaying round timings through a calibrator:")
+	for _, e := range []int{10, 20, 40} {
+		for _, n := range []int{100, 500, 1000, 2000} {
+			if err := cal.SetRoundShape(e, n); err != nil {
+				log.Fatalf("shape E=%d n=%d: %v", e, n, err)
+			}
+			train := dm.Time.TrainDuration(e, n)
+			cal.ObserveRound(eefei.RoundStats{
+				Select:    dm.Time.Waiting,
+				Train:     train,
+				Evaluate:  dm.Time.Download,
+				Aggregate: dm.Time.Upload,
+				Total:     dm.Time.Waiting + train + dm.Time.Download + dm.Time.Upload,
+			})
+		}
+	}
+	refit, err := cal.Refit()
+	if err != nil {
+		log.Fatalf("refit: %v", err)
+	}
+	fmt.Printf("  refit per-sample %v (model %v), per-epoch %v (model %v)\n",
+		refit.TrainPerSample, dm.Time.TrainPerSample, refit.TrainPerEpoch, dm.Time.TrainPerEpoch)
+	for _, d := range cal.Drift(dm.Time) {
+		fmt.Printf("  %-9s measured %12v  modeled %12v  drift %+.2f%%\n",
+			d.Phase, d.Measured, d.Modeled, d.Pct)
+	}
+	fmt.Printf("  measured ledger: %.2f J over %d rounds\n", cal.Ledger().Total(), cal.Rounds())
 }

@@ -62,9 +62,25 @@ func (s *Segmenter) Segment(t *Trace) ([]Interval, error) {
 	for i, smp := range t.Samples {
 		labels[i] = s.classify(smp.Watts)
 	}
-	// Second pass: absorb runs shorter than minRun into the previous phase.
+	// Second pass: absorb runs shorter than minRun. Interior and trailing
+	// glitch runs merge into the preceding phase; a leading glitch run has
+	// no preceding phase, so it merges forward into the run that follows —
+	// otherwise a handful of misread samples at the capture edge would
+	// surface as a phantom first interval and shift the first real phase's
+	// start. A trace that is one single short run is kept as-is: with no
+	// neighbour to absorb into, reporting the observed label beats dropping
+	// the trace's only interval.
 	cleaned := make([]Phase, len(labels))
 	copy(cleaned, labels)
+	lead := 0
+	for lead < len(cleaned) && cleaned[lead] == cleaned[0] {
+		lead++
+	}
+	if lead < s.minRun && lead < len(cleaned) {
+		for k := 0; k < lead; k++ {
+			cleaned[k] = cleaned[lead]
+		}
+	}
 	i := 0
 	for i < len(cleaned) {
 		j := i

@@ -162,6 +162,93 @@ func TestMinRunAbsorbsGlitches(t *testing.T) {
 	}
 }
 
+// TestSegmentEdgeRuns audits minRun absorption at the trace boundaries: a
+// leading glitch run (no preceding phase) merges forward into the phase that
+// follows, a trailing glitch merges backward into the phase before it, and a
+// trace that is one single short run keeps its observed label — edge glitch
+// absorption must never drop or mislabel the first or last interval.
+func TestSegmentEdgeRuns(t *testing.T) {
+	const ms = time.Millisecond
+	mk := func(counts []int, phases []Phase) *Trace {
+		tr := &Trace{SampleRate: 1000}
+		i := 0
+		for r, c := range counts {
+			for k := 0; k < c; k++ {
+				tr.Samples = append(tr.Samples, Sample{
+					T: time.Duration(i) * ms, Watts: DefaultPiPowerModel().Power(phases[r]),
+				})
+				i++
+			}
+		}
+		return tr
+	}
+	cases := []struct {
+		name   string
+		counts []int
+		phases []Phase
+		minRun int
+		want   []Phase
+	}{
+		{
+			name:   "leading glitch absorbed forward",
+			counts: []int{3, 50}, phases: []Phase{PhaseTrain, PhaseWaiting},
+			minRun: 5, want: []Phase{PhaseWaiting},
+		},
+		{
+			name:   "trailing glitch absorbed backward",
+			counts: []int{50, 3}, phases: []Phase{PhaseWaiting, PhaseTrain},
+			minRun: 5, want: []Phase{PhaseWaiting},
+		},
+		{
+			name:   "interior glitch absorbed backward",
+			counts: []int{20, 3, 20}, phases: []Phase{PhaseWaiting, PhaseTrain, PhaseWaiting},
+			minRun: 5, want: []Phase{PhaseWaiting},
+		},
+		{
+			name:   "whole trace one short run keeps its label",
+			counts: []int{3}, phases: []Phase{PhaseUpload},
+			minRun: 5, want: []Phase{PhaseUpload},
+		},
+		{
+			name:   "two short runs merge to the trailing label",
+			counts: []int{3, 4}, phases: []Phase{PhaseTrain, PhaseDownload},
+			minRun: 5, want: []Phase{PhaseDownload},
+		},
+		{
+			name:   "long runs at both edges untouched",
+			counts: []int{20, 20}, phases: []Phase{PhaseDownload, PhaseTrain},
+			minRun: 5, want: []Phase{PhaseDownload, PhaseTrain},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trace := mk(tc.counts, tc.phases)
+			seg, err := NewSegmenter(DefaultPiPowerModel(), tc.minRun)
+			if err != nil {
+				t.Fatalf("NewSegmenter: %v", err)
+			}
+			segments, err := seg.Segment(trace)
+			if err != nil {
+				t.Fatalf("Segment: %v", err)
+			}
+			if len(segments) != len(tc.want) {
+				t.Fatalf("got %d segments %+v, want %d", len(segments), segments, len(tc.want))
+			}
+			for i, s := range segments {
+				if s.Phase != tc.want[i] {
+					t.Errorf("segment %d phase = %v, want %v", i, s.Phase, tc.want[i])
+				}
+			}
+			// Coverage invariant: segmentation spans exactly the sampled range.
+			first, last := trace.Samples[0].T, trace.Samples[len(trace.Samples)-1].T
+			if segments[0].Start != first || segments[len(segments)-1].End != last {
+				t.Errorf("segments cover [%v, %v], trace spans [%v, %v]",
+					segments[0].Start, segments[len(segments)-1].End, first, last)
+			}
+		})
+	}
+}
+
 func TestCountRoundsEdgeCases(t *testing.T) {
 	if CountRounds(nil) != 0 {
 		t.Error("no segments → 0 rounds")

@@ -162,6 +162,36 @@ func TestNoisyTraceMeanConverges(t *testing.T) {
 	}
 }
 
+// TestMeanPowerOffsetStart is the regression pin for the span bug: a trace
+// whose first sample sits at T0 > 0 (Validate accepts it) must average over
+// the covered span (last − first), not the last-sample offset — dividing by
+// Duration() reported a constant 5 W capture that starts at 1 s as 2.5 W.
+func TestMeanPowerOffsetStart(t *testing.T) {
+	offset := &Trace{SampleRate: 1000, Samples: []Sample{
+		{T: time.Second, Watts: 5},
+		{T: 1500 * time.Millisecond, Watts: 5},
+		{T: 2 * time.Second, Watts: 5},
+	}}
+	if err := offset.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := offset.MeanPower(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean power of constant 5 W trace starting at 1s = %v, want 5", got)
+	}
+	// A trace anchored at t=0 is unchanged by the fix.
+	anchored := &Trace{SampleRate: 1000, Samples: []Sample{
+		{T: 0, Watts: 5}, {T: time.Second, Watts: 5},
+	}}
+	if got := anchored.MeanPower(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("anchored mean power = %v, want 5", got)
+	}
+	// Degenerate spans report 0 instead of dividing by zero.
+	single := &Trace{SampleRate: 1000, Samples: []Sample{{T: time.Second, Watts: 5}}}
+	if got := single.MeanPower(); got != 0 {
+		t.Errorf("single-sample mean power = %v, want 0", got)
+	}
+}
+
 func TestTraceValidate(t *testing.T) {
 	good := &Trace{SampleRate: 1000, Samples: []Sample{{0, 1}, {time.Millisecond, 2}}}
 	if err := good.Validate(); err != nil {

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"eefei/internal/energy"
+)
+
+// TestCompareCalibrationNoiseless pins the closed loop: with zero jitter the
+// synthesized round timings ARE the analytic model, so every phase's measured
+// joules must match the DeviceModel's closed form and the refit must recover
+// the canonical Pi time model exactly.
+func TestCompareCalibrationNoiseless(t *testing.T) {
+	setup := quickSetup(t)
+	res, err := CompareCalibration(setup, 3, 10, 4, 0, 1)
+	if err != nil {
+		t.Fatalf("CompareCalibration: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d phase rows, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.AnalyticJoules <= 0 {
+			t.Errorf("%v analytic joules = %v, want > 0", row.Phase, row.AnalyticJoules)
+		}
+		if rel := math.Abs(row.MeasuredJoules-row.AnalyticJoules) / row.AnalyticJoules; rel > 1e-9 {
+			t.Errorf("%v measured %v vs analytic %v (rel %v)", row.Phase,
+				row.MeasuredJoules, row.AnalyticJoules, rel)
+		}
+	}
+	tm := energy.DefaultPiTimeModel()
+	// The least-squares refit round-trips through float seconds, so allow a
+	// couple of nanoseconds of Duration truncation.
+	within := func(a, b time.Duration) bool {
+		d := a - b
+		return d >= -2 && d <= 2
+	}
+	if !within(res.Refit.TrainPerSample, tm.TrainPerSample) || !within(res.Refit.TrainPerEpoch, tm.TrainPerEpoch) {
+		t.Errorf("noiseless refit %+v != canonical %+v", res.Refit, tm)
+	}
+	for _, d := range res.Drift {
+		if math.Abs(d.Pct) > 1e-6 {
+			t.Errorf("%v noiseless drift = %v%%, want 0", d.Phase, d.Pct)
+		}
+	}
+}
+
+// TestCompareCalibrationJitterBounded: with j% uniform jitter, per-phase
+// deltas stay within a few standard errors, and the refit stays near the
+// canonical model.
+func TestCompareCalibrationJitterBounded(t *testing.T) {
+	setup := quickSetup(t)
+	res, err := CompareCalibration(setup, 4, 10, 5, 0.02, 7)
+	if err != nil {
+		t.Fatalf("CompareCalibration: %v", err)
+	}
+	for _, row := range res.Rows {
+		if math.Abs(row.DeltaPct) > 2.0 {
+			t.Errorf("%v delta %v%% exceeds the 2%% jitter bound", row.Phase, row.DeltaPct)
+		}
+	}
+	tm := energy.DefaultPiTimeModel()
+	if rel := math.Abs(res.Refit.TrainPerSample.Seconds()-tm.TrainPerSample.Seconds()) /
+		tm.TrainPerSample.Seconds(); rel > 0.10 {
+		t.Errorf("refit per-sample %v drifted %v from canonical %v",
+			res.Refit.TrainPerSample, rel, tm.TrainPerSample)
+	}
+}
+
+func TestCompareCalibrationValidation(t *testing.T) {
+	setup := quickSetup(t)
+	if _, err := CompareCalibration(setup, 0, 10, 5, 0, 1); err == nil {
+		t.Error("K=0 must error")
+	}
+	if _, err := CompareCalibration(setup, 1, 10, 5, 1.5, 1); err == nil {
+		t.Error("jitter >= 1 must error")
+	}
+}
+
+func TestCalibrationRender(t *testing.T) {
+	setup := quickSetup(t)
+	res, err := CompareCalibration(setup, 2, 10, 2, 0.01, 3)
+	if err != nil {
+		t.Fatalf("CompareCalibration: %v", err)
+	}
+	var out strings.Builder
+	if err := res.Render(&out); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{"measured vs analytic", "train", "refit time model", "drift"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package fl
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 )
@@ -139,6 +142,36 @@ var _ RoundObserver = FuncObserver(nil)
 // ObserveRound implements RoundObserver.
 func (f FuncObserver) ObserveRound(s RoundStats) { f(s) }
 
+// Tee fans each round record out to every non-nil observer in order — how a
+// CLI attaches a trace writer and an energy calibrator to the same engine.
+// Nil entries are skipped; with zero live observers Tee returns nil (so the
+// engine keeps its no-observer fast path), and with exactly one it returns
+// that observer unwrapped.
+func Tee(obs ...RoundObserver) RoundObserver {
+	live := make([]RoundObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeObserver(live)
+}
+
+type teeObserver []RoundObserver
+
+// ObserveRound implements RoundObserver.
+func (t teeObserver) ObserveRound(s RoundStats) {
+	for _, o := range t {
+		o.ObserveRound(s)
+	}
+}
+
 // TraceWriter is a RoundObserver that appends one JSON line per round to w —
 // the `-trace out.jsonl` sink of cmd/feisim and cmd/fedcoord (schema in
 // DESIGN.md §7). It is safe for concurrent use by multiple engines; lines
@@ -185,6 +218,31 @@ func (t *TraceWriter) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
+}
+
+// ReadTrace decodes the JSONL a TraceWriter produced: one RoundStats per
+// non-blank line. Malformed records are hard errors reporting the first bad
+// line's number — a trace that half-parses silently would poison any energy
+// accounting replayed from it.
+func ReadTrace(r io.Reader) ([]RoundStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var stats []RoundStats
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var s RoundStats
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		stats = append(stats, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return stats, nil
 }
 
 // PhaseClock accumulates the per-phase wall-clock of one in-flight round.

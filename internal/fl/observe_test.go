@@ -287,3 +287,69 @@ var errWrite = errWriteType{}
 type errWriteType struct{}
 
 func (errWriteType) Error() string { return "sink closed" }
+
+// TestTee pins the fan-out contract the -calibrate/-trace composition relies
+// on: nils are skipped, a single live observer is returned unwrapped (no
+// indirection on the hot path), and every live observer sees every record in
+// order.
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Error("Tee of no live observers must be nil")
+	}
+	var a, b []RoundStats
+	fa := FuncObserver(func(s RoundStats) { a = append(a, s) })
+	fb := FuncObserver(func(s RoundStats) { b = append(b, s) })
+	if got := Tee(nil, fa); reflect.ValueOf(got).Pointer() != reflect.ValueOf(fa).Pointer() {
+		t.Error("single live observer must be returned unwrapped")
+	}
+	tee := Tee(fa, nil, fb)
+	for i := 0; i < 3; i++ {
+		tee.ObserveRound(RoundStats{Round: i})
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("fan-out delivered %d/%d records, want 3/3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Round != i || b[i].Round != i {
+			t.Errorf("record %d out of order: %d / %d", i, a[i].Round, b[i].Round)
+		}
+	}
+}
+
+// TestReadTraceRoundTrips pins the decoder against the writer: a TraceWriter
+// stream decodes back to the observed records, blank lines are skipped,
+// malformed lines error with their line number, and empty input is an empty
+// (not error) result — callers wanting empty-is-error add their own check.
+func TestReadTraceRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	want := []RoundStats{
+		{Round: 0, Select: time.Millisecond, Train: 2 * time.Millisecond, Total: 4 * time.Millisecond},
+		{Round: 1, Train: 3 * time.Millisecond, Dropped: 1, Total: 3 * time.Millisecond},
+	}
+	for _, s := range want {
+		tw.ObserveRound(s)
+	}
+	buf.WriteString("\n   \n") // trailing blanks must be skipped
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Round != want[i].Round || got[i].Train != want[i].Train ||
+			got[i].Dropped != want[i].Dropped || got[i].Total != want[i].Total {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	if _, err := ReadTrace(bytes.NewReader(nil)); err != nil {
+		t.Errorf("empty input = %v, want nil error", err)
+	}
+	_, err = ReadTrace(bytes.NewReader([]byte("{\"round\":0}\nnot json")))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("line 2")) {
+		t.Errorf("malformed line error = %v, want mention of line 2", err)
+	}
+}

@@ -4,8 +4,8 @@
 #
 # Packages covered: the root package (paper figure/table pins, including the
 # flnet fault-injection round), internal/fl (FedAvg round, async step, global
-# loss), internal/ml (evaluator + SGD epochs), and internal/mat (GEMM, matvec,
-# RNG).
+# loss), internal/ml (evaluator + SGD epochs), internal/mat (GEMM, matvec,
+# RNG), and internal/energy (calibrator observe).
 #
 # The suite runs in two passes with different iteration counts:
 #
@@ -46,14 +46,14 @@ GATED='^Benchmark(Mat|SGD|Model|Trace|Golden|FedAvg|Quantize|Straggler|Sensitivi
 if [ -n "${BENCH_FILTER:-}" ]; then
     echo "bench: single pass, -bench='${BENCH_FILTER}' -benchtime=${TIME} ..." >&2
     go test -run='^$' -bench="$BENCH_FILTER" -benchmem -benchtime="$TIME" \
-        . ./internal/fl ./internal/ml ./internal/mat | tee "$RAW" >&2
+        . ./internal/fl ./internal/ml ./internal/mat ./internal/energy | tee "$RAW" >&2
 else
     echo "bench: harness pass -benchtime=${HARNESS_TIME}, gated pass -benchtime=${TIME} ..." >&2
     {
         go test -run='^$' -bench="$HARNESS" -benchmem -benchtime="$HARNESS_TIME" .
         go test -run='^$' -bench="$GATED" -benchmem -benchtime="$TIME" .
         go test -run='^$' -bench=. -benchmem -benchtime="$TIME" \
-            ./internal/fl ./internal/ml ./internal/mat
+            ./internal/fl ./internal/ml ./internal/mat ./internal/energy
     } | tee "$RAW" >&2
 fi
 

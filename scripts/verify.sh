@@ -35,6 +35,14 @@ echo "== observer determinism/race (explicit) =="
 go test -race -run 'Observer|SpawnGate|TraceWriter|AsyncPoolBitIdentical' ./internal/fl ./internal/flnet
 go test -race -run 'BitIdentical|Forward|Metrics' ./internal/mat ./internal/ml
 
+echo "== calibration round-trip (race detector, explicit) =="
+# The trace→energy loop under -race: the Calibrator observer accumulating a
+# measured ledger live (closed-loop refit onto DefaultPiTimeModel, replay
+# parity, non-perturbation of training) and the tracefmt -energy offline
+# replay path over the checked-in golden trace.
+go test -race -run 'Calibrator' ./internal/energy
+go test -race -run 'Energy|RunEnergyFlag' ./cmd/tracefmt
+
 echo "== examples =="
 go run ./examples/quickstart
 go run ./examples/energy_planner
@@ -88,7 +96,7 @@ trap 'rm -f "$FRESH"' EXIT
 {
     go test -run='^$' -bench="$GATED" -benchmem -benchtime=25x .
     go test -run='^$' -bench=. -benchmem -benchtime=25x \
-        ./internal/fl ./internal/ml ./internal/mat
+        ./internal/fl ./internal/ml ./internal/mat ./internal/energy
 } | go run ./cmd/benchfmt -date regression-gate >"$FRESH"
 if ! go run ./cmd/benchfmt -diff "$BASELINE" "$FRESH" \
         -tol "${BENCH_TOL:-15}" -min-ns 100000 -skip "$SKIP"; then
