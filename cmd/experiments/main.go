@@ -7,9 +7,17 @@
 //
 // Experiment ids: table1, table2, fig3, fig4, fig5, fig6, ablation, theory,
 // constants, calibrate.
+//
+// -sweep switches to the (K, E) sweep subsystem instead of the figure
+// harnesses (checkpointed, resumable, parallel; see DESIGN.md §7
+// "Full-scale sweeps"):
+//
+//	experiments -scale full -sweep "K=1,5,10,50,100;E=1,5,20" -out results/
+//	experiments -scale full -sweep "K=1..100;E=1,5,20" -resume results/sweep.jsonl -out results/
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +27,7 @@ import (
 
 	"eefei/internal/core"
 	"eefei/internal/experiments"
+	"eefei/internal/fl"
 	"eefei/internal/ml"
 )
 
@@ -32,10 +41,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		scaleName = fs.String("scale", "quick", "experiment scale: quick|paper")
+		scaleName = fs.String("scale", "quick", "experiment scale: quick|paper|full")
 		only      = fs.String("only", "", "comma-separated experiment ids (default: all)")
 		seed      = fs.Uint64("seed", 1, "experiment seed")
 		csvDir    = fs.String("csv", "", "also write figure data as CSV files into this directory")
+
+		sweepGrid   = fs.String("sweep", "", `run a (K,E) sweep over this grid instead of the figure harnesses, e.g. "K=1,5,10,50,100;E=1,5,20" (ranges: K=1..100)`)
+		sweepRounds = fs.Int("sweep-rounds", 0, "per-cell round cap override for -sweep (0: scale default)")
+		workers     = fs.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS; every value is bit-identical)")
+		resumePath  = fs.String("resume", "", "resume the sweep from this checkpoint JSONL (must match the grid and seed)")
+		outDir      = fs.String("out", "", "write the sweep checkpoint (sweep.jsonl) and frontier (frontier.csv) into this directory")
+		tracePath   = fs.String("trace", "", "append per-round JSONL observability records to this file during the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +59,11 @@ func run(args []string) error {
 	scale, err := experiments.ParseScale(*scaleName)
 	if err != nil {
 		return err
+	}
+
+	if *sweepGrid != "" {
+		return runSweep(os.Stdout, scale, *sweepGrid, *resumePath, *outDir, *tracePath,
+			*sweepRounds, *workers, *seed)
 	}
 
 	want := map[string]bool{}
@@ -320,5 +341,110 @@ func run(args []string) error {
 		fmt.Fprintf(out, "(%.2fs)\n", time.Since(start).Seconds())
 	}
 
+	return nil
+}
+
+// runSweep drives the (K, E) sweep subsystem: parse the grid, optionally
+// load a resume checkpoint, execute the remaining cells on the worker pool,
+// and record the frontier artifacts. Progress goes to stderr so stdout
+// stays the rendered frontier alone.
+func runSweep(out *os.File, scale experiments.Scale, grid, resumePath, outDir, tracePath string, rounds, workers int, seed uint64) error {
+	spec, err := experiments.ParseSweepGrid(grid)
+	if err != nil {
+		return err
+	}
+	spec.Seed = seed
+	spec.RoundCap = rounds
+
+	opts := experiments.SweepOptions{Workers: workers}
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		cells, err := experiments.ReadSweepCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", resumePath, err)
+		}
+		opts.Resume = cells
+		fmt.Fprintf(os.Stderr, "sweep: resuming from %s (%d cells done)\n", resumePath, len(cells))
+	}
+	var ckpt *os.File
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("out dir: %w", err)
+		}
+		// The checkpoint is rewritten whole (resumed prefix first) so the
+		// file is always a clean grid-order prefix, even when -resume names
+		// this same path.
+		ckpt, err = os.Create(filepath.Join(outDir, "sweep.jsonl"))
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		defer ckpt.Close()
+		opts.Checkpoint = ckpt
+	}
+	var trace *fl.TraceWriter
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		trace = fl.NewTraceWriter(f)
+		opts.RoundObserver = trace
+	}
+	opts.Observer = experiments.SweepObserverFunc(func(p experiments.SweepProgress) {
+		fmt.Fprintf(os.Stderr, "sweep %d/%d: K=%d E=%d rounds=%d acc=%.4f %.1f J (elapsed %s, ETA %s)\n",
+			p.Done, p.Total, p.Cell.K, p.Cell.E, p.Cell.Rounds, p.Cell.FinalAccuracy,
+			p.Cell.TotalJoules, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+	})
+
+	setupStart := time.Now()
+	setup, err := experiments.NewSetup(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %v setup ready in %.1fs (%d servers × %d samples), grid %d×%d = %d cells\n",
+		scale, time.Since(setupStart).Seconds(), setup.Servers, setup.SamplesPerServer(),
+		len(spec.Ks), len(spec.Es), len(spec.Ks)*len(spec.Es))
+
+	res, err := experiments.RunSweep(context.Background(), setup, spec, opts)
+	if err != nil {
+		return err
+	}
+	if ckpt != nil {
+		if err := ckpt.Close(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if trace != nil {
+		if err := trace.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	frontier, err := experiments.ComputeFrontier(res.Cells)
+	if err != nil {
+		return err
+	}
+	if err := frontier.Render(out); err != nil {
+		return err
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "frontier.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("frontier csv: %w", err)
+		}
+		if err := experiments.WriteFrontierCSV(f, frontier); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "frontier csv written: %s\n", path)
+	}
 	return nil
 }

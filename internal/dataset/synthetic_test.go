@@ -153,6 +153,100 @@ func TestSynthesizePairSharesPrototypes(t *testing.T) {
 	}
 }
 
+func TestSynthesizeParallelBitIdenticalAcrossWorkers(t *testing.T) {
+	cfg := QuickSyntheticConfig()
+	cfg.Samples = 1003 // not a multiple of the chunk size, to cover the tail
+	base, err := SynthesizeParallel(cfg, 1)
+	if err != nil {
+		t.Fatalf("SynthesizeParallel(1): %v", err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} { // 0 = GOMAXPROCS
+		d, err := SynthesizeParallel(cfg, workers)
+		if err != nil {
+			t.Fatalf("SynthesizeParallel(%d): %v", workers, err)
+		}
+		if !d.X.Equal(base.X, 0) {
+			t.Fatalf("workers=%d pixels differ from workers=1", workers)
+		}
+		for i := range d.Labels {
+			if d.Labels[i] != base.Labels[i] {
+				t.Fatalf("workers=%d labels differ from workers=1", workers)
+			}
+		}
+	}
+}
+
+func TestSynthesizeParallelBalancedAndValid(t *testing.T) {
+	cfg := QuickSyntheticConfig()
+	d, err := SynthesizeParallel(cfg, 4)
+	if err != nil {
+		t.Fatalf("SynthesizeParallel: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	want := d.Len() / d.Classes
+	for c, n := range d.ClassCounts() {
+		if n != want {
+			t.Errorf("class %d count = %d, want %d", c, n, want)
+		}
+	}
+	for _, v := range d.X.RawData() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestSynthesizePairParallelSharesPrototypes(t *testing.T) {
+	cfg := QuickSyntheticConfig()
+	cfg.Samples = 1000
+	train, test, err := SynthesizePairParallel(cfg, cfg, 4)
+	if err != nil {
+		t.Fatalf("SynthesizePairParallel: %v", err)
+	}
+	if train.X.Equal(test.X, 1e-9) {
+		t.Error("train and test must not be identical")
+	}
+	trainMean := classMean(train, 0)
+	testMean := classMean(test, 0)
+	mat.SubVec(trainMean, trainMean, testMean)
+	if dist := mat.Norm2(trainMean); dist > 0.1*float64(train.Dim()) {
+		t.Errorf("class-0 means differ by %v; prototypes not shared?", dist)
+	}
+}
+
+func TestSynthesizePairParallelDeterministic(t *testing.T) {
+	cfg := QuickSyntheticConfig()
+	a1, b1, err := SynthesizePairParallel(cfg, cfg, 2)
+	if err != nil {
+		t.Fatalf("SynthesizePairParallel: %v", err)
+	}
+	a2, b2, err := SynthesizePairParallel(cfg, cfg, 7)
+	if err != nil {
+		t.Fatalf("SynthesizePairParallel: %v", err)
+	}
+	if !a1.X.Equal(a2.X, 0) || !b1.X.Equal(b2.X, 0) {
+		t.Error("pair synthesis must be bit-identical across worker counts")
+	}
+}
+
+func TestSynthesizeParallelRejectsBadConfig(t *testing.T) {
+	bad := []SyntheticConfig{
+		{Samples: 0, Classes: 10, Side: 8},
+		{Samples: 10, Classes: 0, Side: 8},
+		{Samples: 10, Classes: 10, Side: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := SynthesizeParallel(cfg, 2); err == nil {
+			t.Errorf("config %+v must be rejected", cfg)
+		}
+		if _, _, err := SynthesizePairParallel(cfg, cfg, 2); err == nil {
+			t.Errorf("pair config %+v must be rejected", cfg)
+		}
+	}
+}
+
 func classMean(d *Dataset, class int) []float64 {
 	mean := make([]float64, d.Dim())
 	var n float64

@@ -104,6 +104,46 @@ func WriteEnergyCurveCSV(w io.Writer, param string, pts []EnergyCurvePoint) erro
 	return cw.Error()
 }
 
+// WriteFrontierCSV emits every sweep cell (grid order) with its energy
+// breakdown and frontier membership — the recorded energy/accuracy
+// frontier artifact of a (K, E) sweep.
+func WriteFrontierCSV(w io.Writer, f *FrontierResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"k", "e", "seed", "rounds", "rounds_to_target",
+		"final_accuracy", "final_loss", "total_joules",
+		"waiting_joules", "download_joules", "train_joules", "upload_joules",
+		"collection_joules", "wall_clock_seconds", "on_front",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("frontier csv header: %w", err)
+	}
+	for _, p := range f.Points {
+		rec := []string{
+			strconv.Itoa(p.K),
+			strconv.Itoa(p.E),
+			strconv.FormatUint(p.Seed, 10),
+			strconv.Itoa(p.Rounds),
+			strconv.Itoa(p.RoundsToTarget),
+			formatF(p.FinalAccuracy),
+			formatF(p.FinalLoss),
+			formatF(p.TotalJoules),
+			formatF(p.PhaseJoules["waiting"]),
+			formatF(p.PhaseJoules["download"]),
+			formatF(p.PhaseJoules["train"]),
+			formatF(p.PhaseJoules["upload"]),
+			formatF(p.CollectionJoules),
+			formatF(p.WallClockSeconds),
+			strconv.FormatBool(p.OnFront),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("frontier csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 func formatF(v float64) string {
 	return strconv.FormatFloat(v, 'g', 10, 64)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -26,17 +27,74 @@ func quickSetup(t *testing.T) *Setup {
 }
 
 func TestParseScale(t *testing.T) {
-	if s, err := ParseScale("quick"); err != nil || s != Quick {
-		t.Errorf("quick = %v, %v", s, err)
+	cases := []struct {
+		in      string
+		want    Scale
+		wantErr bool
+	}{
+		{in: "quick", want: Quick},
+		{in: "paper", want: Paper},
+		{in: "full", want: Full},
+		{in: "huge", wantErr: true},
+		{in: "", wantErr: true},
+		{in: "Quick", wantErr: true}, // parsing is case-sensitive
+		{in: "full ", wantErr: true},
 	}
-	if s, err := ParseScale("paper"); err != nil || s != Paper {
-		t.Errorf("paper = %v, %v", s, err)
+	for _, tc := range cases {
+		s, err := ParseScale(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseScale(%q) = %v, want error", tc.in, s)
+			} else if !errors.Is(err, ErrExperiment) {
+				t.Errorf("ParseScale(%q) error %v does not wrap ErrExperiment", tc.in, err)
+			}
+			continue
+		}
+		if err != nil || s != tc.want {
+			t.Errorf("ParseScale(%q) = %v, %v, want %v", tc.in, s, err, tc.want)
+		}
 	}
-	if _, err := ParseScale("huge"); err == nil {
-		t.Error("bad scale must error")
+}
+
+func TestScaleStringRoundTrip(t *testing.T) {
+	for _, s := range []Scale{Quick, Paper, Full} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%v.String()) = %v, %v, want identity", s, got, err)
+		}
 	}
-	if Quick.String() != "quick" || Paper.String() != "paper" || Scale(9).String() == "" {
-		t.Error("Scale.String wrong")
+	if Scale(9).String() == "" {
+		t.Error("unknown Scale must still render a diagnostic string")
+	}
+}
+
+func TestTestSplitSamples(t *testing.T) {
+	cases := []struct {
+		train   int
+		want    int
+		wantErr bool
+	}{
+		{train: 60000, want: 10000},
+		{train: 2000, want: 333},
+		{train: 6, want: 1},
+		{train: 5, want: 1}, // 5/6 would floor to 0 — clamped to 1
+		{train: 1, want: 1},
+		{train: 0, wantErr: true},
+		{train: -6, wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := testSplitSamples(tc.train)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("testSplitSamples(%d) = %d, want error", tc.train, got)
+			} else if !errors.Is(err, ErrExperiment) {
+				t.Errorf("testSplitSamples(%d) error %v does not wrap ErrExperiment", tc.train, err)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("testSplitSamples(%d) = %d, %v, want %d", tc.train, got, err, tc.want)
+		}
 	}
 }
 

@@ -2,9 +2,10 @@
 // evaluation section (Section VI). Each experiment has a harness returning
 // structured rows/series and a renderer printing them the way the paper
 // reports them; cmd/experiments and the repository-root benchmarks drive
-// both. Experiments run at two scales: Quick (8×8 synthetic digits, 20
-// servers × 100 samples — seconds on a laptop) and Paper (28×28, 20 servers
-// × 3000 samples, the prototype's dimensions).
+// both. Experiments run at three scales: Quick (8×8 synthetic digits, 20
+// servers × 100 samples — seconds on a laptop), Paper (28×28, 20 servers
+// × 3000 samples, the prototype's dimensions), and Full (28×28, 100 servers
+// × 600 of the 60k samples — the opt-in (K, E) sweep substrate, K up to 100).
 package experiments
 
 import (
@@ -33,6 +34,11 @@ const (
 	// Paper runs at the prototype's dimensions (28×28 MNIST-scale, 3000
 	// samples per server); minutes of CPU.
 	Paper
+	// Full is the sweep-scale tier: the 60k-sample MNIST-shape dataset
+	// spread over 100 edge servers so K can sweep the whole 1..100 grid.
+	// Setup alone allocates hundreds of MB and a single (K, E) cell takes
+	// minutes, so everything Full-scale is opt-in (EEFEI_FULL_SCALE=1).
+	Full
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +48,8 @@ func (s Scale) String() string {
 		return "quick"
 	case Paper:
 		return "paper"
+	case Full:
+		return "full"
 	default:
 		return fmt.Sprintf("Scale(%d)", int(s))
 	}
@@ -54,8 +62,10 @@ func ParseScale(s string) (Scale, error) {
 		return Quick, nil
 	case "paper":
 		return Paper, nil
+	case "full":
+		return Full, nil
 	default:
-		return 0, fmt.Errorf("scale %q (want quick|paper): %w", s, ErrExperiment)
+		return 0, fmt.Errorf("scale %q (want quick|paper|full): %w", s, ErrExperiment)
 	}
 }
 
@@ -102,12 +112,29 @@ func NewSetup(scale Scale) (*Setup, error) {
 		s.AccuracyTarget = 0.92
 		s.RoundCap = 1000
 		s.LearningRate = 0.01
+	case Full:
+		dcfg = dataset.DefaultSyntheticConfig()
+		s.Servers = 100
+		s.AccuracyTarget = 0.92
+		s.RoundCap = 500
+		s.LearningRate = 0.01
 	default:
 		return nil, fmt.Errorf("scale %v: %w", scale, ErrExperiment)
 	}
+	testSamples, err := testSplitSamples(dcfg.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("%v scale: %w", scale, err)
+	}
 	testCfg := dcfg
-	testCfg.Samples = dcfg.Samples / 6
-	train, test, err := dataset.SynthesizePair(dcfg, testCfg)
+	testCfg.Samples = testSamples
+	var train, test *dataset.Dataset
+	if scale == Full {
+		// The 60k×784 generation is the dominant setup cost at Full scale;
+		// the per-row-stream generator fills it on every core.
+		train, test, err = dataset.SynthesizePairParallel(dcfg, testCfg, 0)
+	} else {
+		train, test, err = dataset.SynthesizePair(dcfg, testCfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("synthesize %v data: %w", scale, err)
 	}
@@ -118,6 +145,22 @@ func NewSetup(scale Scale) (*Setup, error) {
 	s.Shards = shards
 	s.Test = test
 	return s, nil
+}
+
+// testSplitSamples returns the held-out test-set size for a training-set
+// size, Samples/6 like the paper's 60k/10k split, floored at 1 so tiny
+// configs never produce an empty test set (a 0-row test set only surfaced
+// later as an opaque evaluator error). Degenerate sizes are an explicit
+// error.
+func testSplitSamples(trainSamples int) (int, error) {
+	if trainSamples < 1 {
+		return 0, fmt.Errorf("degenerate dataset config: %d training samples: %w", trainSamples, ErrExperiment)
+	}
+	n := trainSamples / 6
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
 }
 
 // SamplesPerServer returns n_k (uniform shards).
@@ -155,11 +198,39 @@ func (s *Setup) simConfig(k, e int, seed uint64) sim.Config {
 // RunTraining runs a simulated federated training at (K, E) until the
 // accuracy target or the round cap, returning the result.
 func (s *Setup) RunTraining(k, e int, seed uint64) (*sim.Result, error) {
-	system, err := sim.New(s.simConfig(k, e, seed), s.Shards, s.Test)
+	return s.RunTrainingWith(k, e, seed, RunOptions{})
+}
+
+// RunOptions tunes a single training run beyond the setup defaults. The
+// zero value reproduces RunTraining exactly.
+type RunOptions struct {
+	// RoundCap overrides the setup's round cap when > 0 — how sweep cells
+	// and the full-scale smoke keep individual runs bounded.
+	RoundCap int
+	// AccuracyTarget overrides the setup's stop threshold when > 0.
+	AccuracyTarget float64
+	// Observer receives per-round observability records (phase timings);
+	// nil keeps the engine's no-observer fast path.
+	Observer fl.RoundObserver
+}
+
+// RunTrainingWith is RunTraining with per-run overrides.
+func (s *Setup) RunTrainingWith(k, e int, seed uint64, opts RunOptions) (*sim.Result, error) {
+	cfg := s.simConfig(k, e, seed)
+	cfg.Observer = opts.Observer
+	system, err := sim.New(cfg, s.Shards, s.Test)
 	if err != nil {
 		return nil, fmt.Errorf("K=%d E=%d: %w", k, e, err)
 	}
-	res, err := system.Run(fl.AnyOf(fl.TargetAccuracy(s.AccuracyTarget), fl.MaxRounds(s.RoundCap)))
+	target := opts.AccuracyTarget
+	if target <= 0 {
+		target = s.AccuracyTarget
+	}
+	cap := opts.RoundCap
+	if cap <= 0 {
+		cap = s.RoundCap
+	}
+	res, err := system.Run(fl.AnyOf(fl.TargetAccuracy(target), fl.MaxRounds(cap)))
 	if err != nil {
 		return nil, fmt.Errorf("K=%d E=%d: %w", k, e, err)
 	}

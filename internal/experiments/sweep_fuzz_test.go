@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzSweepConfig drives grid parsing and sweep-spec validation with
+// arbitrary input: whatever the bytes, parsing never panics, every
+// rejection wraps ErrExperiment, accepted grids re-parse identically
+// (deterministic acceptance), and accepted-then-validated specs obey the
+// documented invariants (positive, deduplicated, in-range values).
+func FuzzSweepConfig(f *testing.F) {
+	for _, seed := range []string{
+		"K=1,5,10,50,100;E=1,5,20",
+		"K=1..100;E=1",
+		"E=1;K=2",
+		" K = 1 , 2 ; E = 3 ",
+		"K=1..2,5;E=1,2..4",
+		"",
+		"K=;E=",
+		"K=0;E=1",
+		"K=1,1;E=2",
+		"K=1;E=1;K=2",
+		"K=2..1;E=1",
+		"K=1..99999;E=1",
+		"K=99999999999999999999;E=1",
+		"Q=7;E=1",
+		"K=1;;E=2",
+		"K=1..3/2;E=1",
+		"K==1;E=1",
+		"K=1;E=10001",
+		"K=-1;E=1",
+		"K=1\x00;E=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, grid string) {
+		spec, err := ParseSweepGrid(grid)
+		if err != nil {
+			if !errors.Is(err, ErrExperiment) {
+				t.Fatalf("ParseSweepGrid(%q) error %v does not wrap ErrExperiment", grid, err)
+			}
+			// Rejection must be deterministic.
+			if _, err2 := ParseSweepGrid(grid); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("ParseSweepGrid(%q) rejection not deterministic: %v vs %v", grid, err, err2)
+			}
+			return
+		}
+		// Accepted grids re-parse identically.
+		again, err2 := ParseSweepGrid(grid)
+		if err2 != nil || !reflect.DeepEqual(spec, again) {
+			t.Fatalf("ParseSweepGrid(%q) not deterministic: %+v/%v vs %+v/%v", grid, spec, err, again, err2)
+		}
+		// Parse-accepted specs hold the parser's invariants: non-empty
+		// axes of deduplicated positive values within the axis cap.
+		for _, axis := range [][]int{spec.Ks, spec.Es} {
+			if len(axis) == 0 || len(axis) > maxSweepAxis {
+				t.Fatalf("ParseSweepGrid(%q) axis size %d escaped the cap", grid, len(axis))
+			}
+			seen := map[int]bool{}
+			for _, v := range axis {
+				if v < 1 {
+					t.Fatalf("ParseSweepGrid(%q) accepted value %d", grid, v)
+				}
+				if seen[v] {
+					t.Fatalf("ParseSweepGrid(%q) accepted duplicate %d", grid, v)
+				}
+				seen[v] = true
+			}
+		}
+		// Validation against a 100-server setup either accepts or rejects
+		// with ErrExperiment — never panics, and deterministically.
+		if verr := spec.Validate(100); verr != nil {
+			if !errors.Is(verr, ErrExperiment) {
+				t.Fatalf("Validate error %v does not wrap ErrExperiment", verr)
+			}
+			if verr2 := spec.Validate(100); verr2 == nil || verr2.Error() != verr.Error() {
+				t.Fatalf("Validate rejection not deterministic: %v vs %v", verr, verr2)
+			}
+		} else {
+			// Accepted specs expand to a well-formed cell grid with
+			// collision-free scheduling-independent seeds.
+			cells := spec.Cells()
+			if len(cells) != len(spec.Ks)*len(spec.Es) {
+				t.Fatalf("Cells() = %d for %d×%d grid", len(cells), len(spec.Ks), len(spec.Es))
+			}
+			for i, c := range cells {
+				if c.Index != i || c.Seed != cellSeed(spec.Seed, c.K, c.E) {
+					t.Fatalf("cell %d malformed: %+v", i, c)
+				}
+			}
+		}
+	})
+}

@@ -37,6 +37,11 @@ type Config struct {
 	Preloaded bool
 	// Seed drives the IoT collection randomness.
 	Seed uint64
+	// Observer, when non-nil, is attached to the FL engine as its
+	// per-round observability sink (phase timings, worker claims). It is
+	// strictly passive: same-seed runs with and without one are
+	// bit-identical.
+	Observer fl.RoundObserver
 }
 
 // DefaultConfig mirrors the paper's prototype: 20 servers, Pi-4B device
@@ -114,6 +119,9 @@ func New(cfg Config, shards []*dataset.Dataset, test *dataset.Dataset) (*System,
 	var opts []fl.Option
 	if test != nil {
 		opts = append(opts, fl.WithTestSet(test))
+	}
+	if cfg.Observer != nil {
+		opts = append(opts, fl.WithRoundObserver(cfg.Observer))
 	}
 	engine, err := fl.NewEngine(cfg.FL, shards, opts...)
 	if err != nil {

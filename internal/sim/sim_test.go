@@ -253,3 +253,34 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Error("identical configs must produce identical simulations")
 	}
 }
+
+func TestConfigObserverThreaded(t *testing.T) {
+	var rounds []int
+	sys, _ := quickSystem(t, func(cfg *Config) {
+		cfg.Observer = fl.FuncObserver(func(s fl.RoundStats) {
+			rounds = append(rounds, s.Round)
+		})
+	})
+	res, err := sys.Run(fl.MaxRounds(3))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rounds) != 3 {
+		t.Fatalf("observer saw %d rounds, want 3", len(rounds))
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Errorf("observer round %d = %d, want %d", i, r, i)
+		}
+	}
+
+	// A passive observer must not perturb the simulation.
+	plain, _ := quickSystem(t, nil)
+	base, err := plain.Run(fl.MaxRounds(3))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FinalLoss != base.FinalLoss || res.TotalJoules() != base.TotalJoules() {
+		t.Error("attaching an observer changed the simulation result")
+	}
+}

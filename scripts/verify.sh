@@ -35,6 +35,18 @@ echo "== observer determinism/race (explicit) =="
 go test -race -run 'Observer|SpawnGate|TraceWriter|AsyncPoolBitIdentical' ./internal/fl ./internal/flnet
 go test -race -run 'BitIdentical|Forward|Metrics' ./internal/mat ./internal/ml
 
+echo "== sweep golden/resume/bit-identity (race detector, explicit) =="
+# The (K, E) sweep subsystem's contracts pinned under -race even if the
+# full -race sweep above is ever narrowed: the checked-in Quick-scale 3×3
+# golden checkpoint + frontier CSV byte-compared, resume from a killed
+# sweep's prefix byte-identical to an uninterrupted run, worker counts
+# {1,2,4,GOMAXPROCS} bit-identical, parallel dataset synthesis matching
+# workers=1, and the CLI artifact/resume paths. The Full tier itself
+# (60k samples, 100 servers) is opt-in only:
+#   EEFEI_FULL_SCALE=1 go test ./internal/experiments -run FullScaleSweep -timeout 30m
+go test -race -run 'Sweep|Frontier|ParseScale|ScaleString|TestSplitSamples' ./internal/experiments ./cmd/experiments
+go test -race -run 'SynthesizeParallel|SynthesizePairParallel' ./internal/dataset
+
 echo "== calibration round-trip (race detector, explicit) =="
 # The trace→energy loop under -race: the Calibrator observer accumulating a
 # measured ledger live (closed-loop refit onto DefaultPiTimeModel, replay
