@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +26,7 @@ import (
 	"eefei/internal/energy"
 	"eefei/internal/fl"
 	"eefei/internal/flnet"
+	"eefei/internal/ml"
 )
 
 func main() {
@@ -58,12 +61,24 @@ func run(args []string) error {
 		trace        = fs.String("trace", "", "write per-round phase timings as JSON lines to this file")
 		traceMem     = fs.Bool("trace-mem", false, "sample runtime.MemStats per round into the trace (requires -trace)")
 		calibrate    = fs.Bool("calibrate", false, "accumulate a measured per-phase energy ledger from round timings and report drift vs the analytic Pi model")
+		upBits       = fs.Int("up-bits", 0, "quantize client replies to this many bits per weight (0 = lossless float64, 8 or 16)")
+		downBits     = fs.Int("down-bits", 0, "quantize the broadcast global as a residual with this many bits per weight (0 = lossless full model, 8 or 16; needs v2 edges)")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceMem && *trace == "" {
 		return fmt.Errorf("-trace-mem requires -trace")
+	}
+	if *pprofAddr != "" {
+		// Profiling endpoint for the wire-path benchmarks: `go tool pprof
+		// http://<addr>/debug/pprof/allocs` while a training run is live.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fedcoord: pprof:", err)
+			}
+		}()
 	}
 
 	// The coordinator regenerates the same synthetic universe the edges use
@@ -116,12 +131,14 @@ func run(args []string) error {
 			Decay:           *decay,
 			Seed:            *seed,
 		},
-		Classes:      10,
-		Features:     *side * *side,
-		RoundTimeout: *roundTimeout,
-		JoinTimeout:  *joinTimeout,
-		MinReplies:   *minReplies,
-		RejoinGrace:  *rejoinGrace,
+		Classes:           10,
+		Features:          *side * *side,
+		RoundTimeout:      *roundTimeout,
+		JoinTimeout:       *joinTimeout,
+		MinReplies:        *minReplies,
+		RejoinGrace:       *rejoinGrace,
+		UploadQuantBits:   ml.QuantBits(*upBits),
+		DownloadQuantBits: ml.QuantBits(*downBits),
 	}, ln, test)
 	if err != nil {
 		return err
@@ -144,8 +161,12 @@ func run(args []string) error {
 	var cal *energy.Calibrator
 	if *calibrate {
 		// Each edge holds an even shard of the synthetic universe; that shard
-		// size is the n the training-law attribution uses.
-		cal, err = energy.NewCalibrator(dm.Power, *e, *samples / *servers)
+		// size is the n the training-law attribution uses. The radio model
+		// prices upload/download from the measured frame bytes each round
+		// carries, so quantized uplinks and residual downlinks show up as
+		// real joules saved rather than unchanged phase wall-clock.
+		cal, err = energy.NewCalibrator(dm.Power, *e, *samples / *servers,
+			energy.WithRadioModel(energy.DefaultWiFiRadioModel()))
 		if err != nil {
 			return err
 		}
@@ -182,6 +203,9 @@ func run(args []string) error {
 		}
 		line := fmt.Sprintf("round %3d  selected %v  lr %.4f  local-loss %.4f  test-acc %.4f",
 			rec.Round, rec.Selected, rec.LearningRate, rec.TrainLoss, rec.TestAccuracy)
+		if rec.DownlinkBytes > 0 || rec.UplinkBytes > 0 {
+			line += fmt.Sprintf("  down %dB  up %dB", rec.DownlinkBytes, rec.UplinkBytes)
+		}
 		if len(rec.Dropped) > 0 || rec.Rejoins > 0 || rec.Retries > 0 {
 			line += fmt.Sprintf("  dropped %v  rejoins %d  retries %d",
 				rec.Dropped, rec.Rejoins, rec.Retries)

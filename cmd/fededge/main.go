@@ -46,6 +46,7 @@ func run(args []string) error {
 		retries     = fs.Int("retries", 3, "reconnect attempts after a lost coordinator link (0 = fail fast)")
 		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "initial reconnect backoff")
 		retryMax    = fs.Duration("retry-max", 2*time.Second, "reconnect backoff cap")
+		protocol    = fs.Int("protocol", 0, "wire protocol version to advertise (0 = newest; 1 pins the seed protocol for pre-v2 coordinators)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,11 +86,20 @@ func run(args []string) error {
 	// exhausted (or on a local training failure).
 	fmt.Printf("fededge %d/%d: %d samples, dialing %s (up to %d reconnect attempts)\n",
 		*id, *of, shard.Len(), *coordinator, *retries)
+	if *protocol < 0 || *protocol > int(flnet.ProtoV2) {
+		return fmt.Errorf("protocol version %d (supported: 1..%d, 0 = newest)", *protocol, flnet.ProtoV2)
+	}
+	// Frame-level byte counters: what this edge's radio would actually have
+	// transferred, printed at exit so a bench run can compare protocol
+	// versions and downlink codecs byte for byte.
+	var wire flnet.WireCounters
 	err = flnet.RunEdgeServer(ctx, flnet.EdgeConfig{
 		Addr:      *coordinator,
 		Shard:     shard,
 		BatchSize: *batch,
 		Seed:      *seed + uint64(*id)*65537,
+		Protocol:  byte(*protocol),
+		Counters:  &wire,
 		Retry: flnet.RetryPolicy{
 			MaxAttempts: *retries,
 			BaseDelay:   *retryBase,
@@ -98,6 +108,8 @@ func run(args []string) error {
 			JitterFrac:  0.2,
 		},
 	})
+	fmt.Printf("fededge %d/%d: wire bytes rx %d (downlink) tx %d (uplink)\n",
+		*id, *of, wire.Rx(), wire.Tx())
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"eefei/internal/energy"
@@ -44,12 +46,22 @@ func run(args []string) error {
 		mix       = fs.Float64("mix", 0.6, "async base mixing weight α (with -async)")
 		maxStale  = fs.Int("max-staleness", 0, "async: drop updates staler than this many versions, 0 = never (with -async)")
 		workers   = fs.Int("workers", 0, "async training/eval pool size, 0 = GOMAXPROCS; any value is bit-identical (with -async)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceMem && *trace == "" {
 		return fmt.Errorf("-trace-mem requires -trace")
+	}
+	if *pprofAddr != "" {
+		// Live profiling of a long training run: `go tool pprof
+		// http://<addr>/debug/pprof/profile` or /debug/pprof/allocs.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "feisim: pprof:", err)
+			}
+		}()
 	}
 
 	scale, err := experiments.ParseScale(*scaleName)

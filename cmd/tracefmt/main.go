@@ -149,9 +149,20 @@ func summarize(w io.Writer, stats []fl.RoundStats) {
 // writes the measured per-phase joules table: the coordination phases map to
 // device energy phases via energy.MapRoundPhase (select→waiting,
 // aggregate→upload, evaluate→download; the commit remainder is charged at
-// waiting power).
+// waiting power). Traces carrying measured frame-byte counts (networked
+// runs) get the upload/download phases priced from bytes on the wire via
+// the canonical WiFi radio model, plus a bytes-on-wire summary table.
 func energyTable(w io.Writer, stats []fl.RoundStats) error {
-	cal, err := energy.NewCalibrator(energy.DefaultPiPowerModel(), 1, 0)
+	var down, up int64
+	for _, s := range stats {
+		down += s.DownlinkBytes
+		up += s.UplinkBytes
+	}
+	opts := []energy.CalibratorOption{}
+	if down > 0 || up > 0 {
+		opts = append(opts, energy.WithRadioModel(energy.DefaultWiFiRadioModel()))
+	}
+	cal, err := energy.NewCalibrator(energy.DefaultPiPowerModel(), 1, 0, opts...)
 	if err != nil {
 		return err
 	}
@@ -173,6 +184,14 @@ func energyTable(w io.Writer, stats []fl.RoundStats) error {
 	fmt.Fprintf(w, "%-10s %14s %12.3f\n", "total", wall, led.Total())
 	if n := led.Rounds(); n > 0 {
 		fmt.Fprintf(w, "per round:  %.3f J\n", led.Total()/float64(n))
+	}
+	if down > 0 || up > 0 {
+		rm := energy.DefaultWiFiRadioModel()
+		n := int64(len(stats))
+		fmt.Fprintf(w, "\nbytes on the wire (measured frames; radio model pricing):\n")
+		fmt.Fprintf(w, "%-10s %14s %14s %12s\n", "direction", "total", "per round", "joules")
+		fmt.Fprintf(w, "%-10s %13dB %13dB %12.3f\n", "downlink", down, down/n, rm.DownloadEnergy(down))
+		fmt.Fprintf(w, "%-10s %13dB %13dB %12.3f\n", "uplink", up, up/n, rm.UploadEnergy(up))
 	}
 	return nil
 }

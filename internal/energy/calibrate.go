@@ -67,6 +67,13 @@ type Calibrator struct {
 	mu     sync.Mutex
 	power  PowerModel
 	ledger *Ledger
+	// radio, when set (WithRadioModel), prices the upload and download
+	// phases from the round's measured frame-byte counts instead of the
+	// wall-clock × phase-power product: rounds that put fewer bytes on the
+	// wire (quantized uploads, residual downlinks) are charged fewer
+	// joules even when their wall-clock is dominated by peer latency.
+	// Rounds without byte telemetry keep the duration-based pricing.
+	radio *RadioModel
 	// epochs/samples describe the round shape (E, n_k) the *next* observed
 	// rounds train with; they parameterize the TrainObservations the refit
 	// consumes. SetRoundShape changes them mid-stream for varied feeds.
@@ -100,6 +107,17 @@ func WithObservationWindow(n int) CalibratorOption {
 	}
 }
 
+// WithRadioModel prices the upload/download phases of observed rounds from
+// their measured frame-byte counts (fl.RoundStats.UplinkBytes /
+// DownlinkBytes, divided across the round's workers to keep the
+// one-call-per-device-round convention) via the given bytes→joules radio
+// model. Rounds carrying no byte telemetry fall back to wall-clock pricing.
+func WithRadioModel(rm RadioModel) CalibratorOption {
+	return func(c *Calibrator) {
+		c.radio = &rm
+	}
+}
+
 // NewCalibrator returns a calibrator pricing measured phase durations with
 // the given canonical power model, for rounds training E epochs over n
 // samples per selected device.
@@ -119,6 +137,11 @@ func NewCalibrator(power PowerModel, epochs, samples int, opts ...CalibratorOpti
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.radio != nil {
+		if err := c.radio.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	// Pre-seed the four canonical keys so steady-state Add never grows the
 	// ledger map — part of the 0-alloc ObserveRound contract.
@@ -156,7 +179,23 @@ func (c *Calibrator) ObserveRound(s fl.RoundStats) {
 		phased += d
 		ep := MapRoundPhase(p)
 		c.durSum[phaseIndex(ep)] += d
-		c.ledger.Add(ep, c.power.Energy(ep, d))
+		j := c.power.Energy(ep, d)
+		// Measured bytes beat measured wall-clock for the radio phases:
+		// airtime · radio power prices what this device's share of the
+		// round actually transferred, not how long it waited on peers.
+		if c.radio != nil {
+			workers := int64(s.Workers)
+			if workers < 1 {
+				workers = 1
+			}
+			switch {
+			case ep == PhaseUpload && s.UplinkBytes > 0:
+				j = c.radio.UploadEnergy(s.UplinkBytes / workers)
+			case ep == PhaseDownload && s.DownlinkBytes > 0:
+				j = c.radio.DownloadEnergy(s.DownlinkBytes / workers)
+			}
+		}
+		c.ledger.Add(ep, j)
 	}
 	if rem := s.Total - phased; rem > 0 {
 		c.durSum[phaseIndex(PhaseWaiting)] += rem

@@ -147,6 +147,14 @@ type RoundRecord struct {
 	// Rejoins it is wall-clock telemetry — whether a failure is repaired
 	// on the first or a later attempt depends on reconnect latency.
 	Retries int
+	// DownlinkBytes / UplinkBytes are the frame bytes the coordinator
+	// actually put on / took off the wire this round (networked runs only;
+	// zero for in-process training): request frames to the selected
+	// clients and their reply frames respectively, 5-byte frame headers
+	// included. They are the measured transfer volume the bytes→joules
+	// radio energy model prices, replacing the analytic estimate.
+	DownlinkBytes int64
+	UplinkBytes   int64
 }
 
 // Observer is notified after every completed round; the energy simulator

@@ -109,6 +109,11 @@ type RoundStats struct {
 	Dropped int `json:"dropped,omitempty"`
 	Rejoins int `json:"rejoins,omitempty"`
 	Retries int `json:"retries,omitempty"`
+	// DownlinkBytes / UplinkBytes mirror the round record's measured
+	// frame-byte counts (networked rounds only): coordinator→client
+	// request bytes and client→coordinator reply bytes respectively.
+	DownlinkBytes int64 `json:"downlink_bytes,omitempty"`
+	UplinkBytes   int64 `json:"uplink_bytes,omitempty"`
 }
 
 // PhaseDuration returns the duration recorded for phase p.

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eefei/internal/dataset"
@@ -53,6 +54,14 @@ type CoordinatorConfig struct {
 	// (ml.Quant8 or ml.Quant16; 0 = full precision), cutting the e^U
 	// upload energy roughly 64/bits-fold at a bounded accuracy cost.
 	UploadQuantBits ml.QuantBits
+	// DownloadQuantBits broadcasts the global model to protocol-v2 clients
+	// as a quantized residual against the last broadcast each client
+	// acknowledged (ml.Quant8 or ml.Quant16; 0 = full precision, which is
+	// bit-identical to the seed protocol). Coordinator-side error feedback
+	// subtracts each round's quantization error from the next residual, so
+	// the error never accumulates. Clients whose downlink state is unknown
+	// (fresh joins, rejoins, v1 clients) receive the full model.
+	DownloadQuantBits ml.QuantBits
 }
 
 // clientConn is one roster slot. A slot is created by MsgJoin and lives for
@@ -69,6 +78,24 @@ type clientConn struct {
 	// failure observed on a stale connection cannot mark a freshly
 	// rejoined client disconnected.
 	gen int
+	// proto is the negotiated wire protocol version of the slot's current
+	// connection.
+	proto byte
+	// lastSent is the global model exactly as this client's connection
+	// last reconstructed it (error feedback: quantized residuals are
+	// dequantized back, so lastSent carries the client's rounding, not the
+	// coordinator's ideal). lastRound is the round of that broadcast.
+	// pending stages the candidate successor while a round is in flight;
+	// both are guarded by the coordinator mutex and reset on rejoin, since
+	// a fresh connection holds no downlink state. Nil = next send is full.
+	lastSent  *ml.Model
+	pending   *ml.Model
+	lastRound int
+	// readBuf and repModel are the slot's reply-decode scratch, touched
+	// only by the active round's goroutine for this slot (rounds are
+	// serial, and each round selects a client at most once).
+	readBuf  []byte
+	repModel *ml.Model
 }
 
 // Coordinator is the networked FedAvg coordinator: it owns the global model,
@@ -82,6 +109,16 @@ type Coordinator struct {
 	test     *dataset.Dataset
 	testEval *ml.Evaluator // owns the batched-forward scratch reused across rounds
 	rng      *mat.RNG
+
+	// Round-scratch models, reused across rounds so warm rounds stay off
+	// the allocator: snap holds the round's global snapshot, spare is the
+	// aggregation target (swapped with global at commit), resid and recon
+	// build the residual downlink and its error-feedback reconstruction.
+	// All are touched only by the single active Round call.
+	snap  *ml.Model
+	spare *ml.Model
+	resid *ml.Model
+	recon *ml.Model
 
 	mu        sync.Mutex
 	clients   []*clientConn
@@ -108,6 +145,11 @@ func NewCoordinator(cfg CoordinatorConfig, ln net.Listener, test *dataset.Datase
 	default:
 		return nil, fmt.Errorf("upload quant bits %d: %w", cfg.UploadQuantBits, ErrCoordinator)
 	}
+	switch cfg.DownloadQuantBits {
+	case 0, ml.Quant8, ml.Quant16:
+	default:
+		return nil, fmt.Errorf("download quant bits %d: %w", cfg.DownloadQuantBits, ErrCoordinator)
+	}
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = 2 * time.Minute
 	}
@@ -131,11 +173,13 @@ func NewCoordinator(cfg CoordinatorConfig, ln net.Listener, test *dataset.Datase
 // Addr returns the listener address (useful with ":0" test listeners).
 func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
 
-// Global returns the current global model.
+// Global returns a copy of the current global model. (A copy, because the
+// coordinator recycles parameter storage across rounds; the returned model
+// stays stable however many rounds run afterwards.)
 func (c *Coordinator) Global() *ml.Model {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.global
+	return c.global.Clone()
 }
 
 // History returns the completed round records.
@@ -213,7 +257,8 @@ func (c *Coordinator) acceptLoop() {
 }
 
 // register performs the Join/Welcome or Rejoin/Welcome handshake on a fresh
-// connection.
+// connection. The Welcome echoes the negotiated protocol version back to
+// v2+ joiners; version-less (v1) joiners get the seed 4-byte body.
 func (c *Coordinator) register(conn net.Conn) error {
 	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
 		return fmt.Errorf("handshake deadline: %w", err)
@@ -223,12 +268,14 @@ func (c *Coordinator) register(conn net.Conn) error {
 		return fmt.Errorf("handshake: %w", err)
 	}
 	var id int
+	var proto byte
 	switch t {
 	case MsgJoin:
-		samples, err := decodeUint32(payload)
+		samples, adv, err := decodeJoin(payload)
 		if err != nil {
 			return fmt.Errorf("join body: %w", err)
 		}
+		proto = negotiate(adv)
 		c.mu.Lock()
 		if c.down {
 			c.mu.Unlock()
@@ -236,14 +283,15 @@ func (c *Coordinator) register(conn net.Conn) error {
 		}
 		id = len(c.clients)
 		c.clients = append(c.clients, &clientConn{
-			id: id, conn: conn, samples: int(samples), connected: true,
+			id: id, conn: conn, samples: int(samples), connected: true, proto: proto,
 		})
 		c.mu.Unlock()
 	case MsgRejoin:
-		rid, samples, err := decodeRejoin(payload)
+		rid, samples, adv, err := decodeRejoin(payload)
 		if err != nil {
 			return fmt.Errorf("rejoin body: %w", err)
 		}
+		proto = negotiate(adv)
 		c.mu.Lock()
 		if c.down {
 			c.mu.Unlock()
@@ -262,13 +310,20 @@ func (c *Coordinator) register(conn net.Conn) error {
 		cl.samples = int(samples)
 		cl.connected = true
 		cl.gen++
+		cl.proto = proto
+		// A fresh connection holds no downlink state: the next request
+		// must carry the full model, and any in-flight pending
+		// reconstruction is void.
+		cl.lastSent = nil
+		cl.pending = nil
+		cl.lastRound = 0
 		c.rejoins++
 		id = int(rid)
 		c.mu.Unlock()
 	default:
 		return fmt.Errorf("handshake got %v: %w", t, ErrProtocol)
 	}
-	if err := writeFrame(conn, MsgWelcome, encodeUint32(uint32(id))); err != nil {
+	if err := writeFrame(conn, MsgWelcome, encodeWelcome(uint32(id), proto)); err != nil {
 		// The slot exists but its connection is already dead; leave it
 		// disconnected so counts stay truthful. The client retries.
 		c.mu.Lock()
@@ -333,9 +388,9 @@ func (c *Coordinator) awaitConnected(ctx context.Context, n int, timeout time.Du
 // the RejoinGrace window (capped by the round deadline) passes, or the
 // coordinator shuts down. With RejoinGrace unset it declines immediately,
 // preserving fail-fast rounds.
-func (c *Coordinator) awaitRejoin(id, gen int, deadline time.Time) (net.Conn, int, bool) {
+func (c *Coordinator) awaitRejoin(id, gen int, deadline time.Time) (net.Conn, int, byte, bool) {
 	if c.cfg.RejoinGrace <= 0 {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	grace := time.Now().Add(c.cfg.RejoinGrace)
 	if deadline.Before(grace) {
@@ -347,20 +402,97 @@ func (c *Coordinator) awaitRejoin(id, gen int, deadline time.Time) (net.Conn, in
 		c.mu.Lock()
 		if c.down || id >= len(c.clients) {
 			c.mu.Unlock()
-			return nil, 0, false
+			return nil, 0, 0, false
 		}
 		cl := c.clients[id]
 		if cl.connected && cl.gen > gen {
-			conn, g := cl.conn, cl.gen
+			conn, g, p := cl.conn, cl.gen, cl.proto
 			c.mu.Unlock()
-			return conn, g, true
+			return conn, g, p, true
 		}
 		c.mu.Unlock()
 		if time.Now().After(grace) {
-			return nil, 0, false
+			return nil, 0, 0, false
 		}
 		<-tick.C
 	}
+}
+
+// buildFullFrame seals a pooled MsgTrainRequest frame carrying the full
+// snapshot model at the given protocol version. The caller owns the
+// returned buffer (freeFrame when done); the sealed image aliases it.
+func (c *Coordinator) buildFullFrame(proto byte, req TrainRequest) (*[]byte, []byte, error) {
+	bp := newFrame()
+	var err error
+	if proto >= ProtoV2 {
+		req.DownBits = 0
+		req.BaseRound = req.Round
+		*bp = appendTrainRequestV2Header(*bp, req)
+		*bp = c.snap.AppendBinary(*bp)
+	} else {
+		*bp, err = appendTrainRequestV1(*bp, req)
+		if err != nil {
+			freeFrame(bp)
+			return nil, nil, err
+		}
+	}
+	frame, err := finishFrame(bp, MsgTrainRequest)
+	if err != nil {
+		freeFrame(bp)
+		return nil, nil, err
+	}
+	return bp, frame, nil
+}
+
+// buildResidualFrame seals a pooled v2 request frame carrying the global
+// snapshot as a quantized residual against cl.lastSent, and stages the
+// client's exact post-apply reconstruction in cl.pending (error feedback:
+// the next residual is computed against what the client actually holds,
+// rounding included, so quantization error cannot accumulate). Called with
+// the coordinator mutex held.
+func (c *Coordinator) buildResidualFrame(cl *clientConn, req TrainRequest, bits ml.QuantBits) (*[]byte, []byte, error) {
+	if c.resid == nil {
+		c.resid = c.snap.Clone()
+	} else if err := c.resid.CopyFrom(c.snap); err != nil {
+		return nil, nil, err
+	}
+	if err := c.resid.AddScaled(-1, cl.lastSent); err != nil {
+		return nil, nil, err
+	}
+	req.DownBits = bits
+	req.BaseRound = cl.lastRound
+	bp := newFrame()
+	*bp = appendTrainRequestV2Header(*bp, req)
+	bodyStart := len(*bp)
+	out, err := ml.AppendQuantized(*bp, c.resid, bits)
+	if err != nil {
+		freeFrame(bp)
+		return nil, nil, err
+	}
+	*bp = out
+	frame, err := finishFrame(bp, MsgTrainRequest)
+	if err != nil {
+		freeFrame(bp)
+		return nil, nil, err
+	}
+	if c.recon == nil {
+		c.recon = &ml.Model{}
+	}
+	if err := c.recon.DequantizeInto((*bp)[bodyStart:]); err != nil {
+		freeFrame(bp)
+		return nil, nil, err
+	}
+	if cl.pending == nil {
+		cl.pending = cl.lastSent.Clone()
+	} else if err := cl.pending.CopyFrom(cl.lastSent); err != nil {
+		freeFrame(bp)
+		return nil, nil, err
+	}
+	if err := cl.pending.AddScaled(1, c.recon); err != nil {
+		freeFrame(bp)
+		return nil, nil, err
+	}
+	return bp, frame, nil
 }
 
 // Round runs one synchronous FedAvg round over the network. With MinReplies
@@ -369,9 +501,13 @@ func (c *Coordinator) awaitRejoin(id, gen int, deadline time.Time) (net.Conn, in
 // quorum of survivors; the round record lists the casualties.
 func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	type target struct {
-		id   int
-		gen  int
-		conn net.Conn
+		id       int
+		gen      int
+		conn     net.Conn
+		proto    byte
+		cl       *clientConn
+		frame    []byte // sealed request frame (shared between full-model targets)
+		residual bool   // frame carries a quantized residual
 	}
 	c.mu.Lock()
 	obs := c.roundObs
@@ -395,27 +531,73 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	if k <= len(alive) {
 		for _, idx := range c.rng.Sample(len(alive), k) {
 			cl := c.clients[alive[idx]]
-			targets = append(targets, target{id: cl.id, gen: cl.gen, conn: cl.conn})
+			targets = append(targets, target{id: cl.id, gen: cl.gen, conn: cl.conn, proto: cl.proto, cl: cl})
 		}
 	}
-	globalSnapshot := c.global.Clone()
-	c.mu.Unlock()
-
 	if targets == nil {
-		return fl.RoundRecord{}, fmt.Errorf("K=%d of %d alive clients: %w", k, len(alive), ErrCoordinator)
+		nAlive := len(alive)
+		c.mu.Unlock()
+		return fl.RoundRecord{}, fmt.Errorf("K=%d of %d alive clients: %w", k, nAlive, ErrCoordinator)
 	}
 
+	// Snapshot the global into reusable scratch; the round works off the
+	// snapshot so registrations racing the round see a consistent model.
+	if c.snap == nil {
+		c.snap = c.global.Clone()
+	} else if err := c.snap.CopyFrom(c.global); err != nil {
+		c.mu.Unlock()
+		return fl.RoundRecord{}, fmt.Errorf("round %d snapshot: %w", round, err)
+	}
+
+	// Build the request frames while still holding the mutex: residuals
+	// read (and stage) per-client downlink state. Full-model targets share
+	// one sealed frame per protocol version; residual targets get their
+	// own. All pooled buffers are released when the round returns.
 	req := TrainRequest{
 		Round:        round,
 		Epochs:       c.cfg.FL.LocalEpochs,
 		LearningRate: lr,
 		ReplyBits:    c.cfg.UploadQuantBits,
-		Model:        globalSnapshot,
+		BaseRound:    round,
+		Model:        c.snap,
 	}
-	reqPayload, err := encodeTrainRequest(req)
-	if err != nil {
-		return fl.RoundRecord{}, err
+	var frames []*[]byte
+	defer func() {
+		for _, bp := range frames {
+			freeFrame(bp)
+		}
+	}()
+	var fullV1, fullV2 []byte
+	downBits := c.cfg.DownloadQuantBits
+	for i := range targets {
+		tg := &targets[i]
+		if tg.proto >= ProtoV2 && downBits != 0 && tg.cl.lastSent != nil {
+			bp, frame, err := c.buildResidualFrame(tg.cl, req, downBits)
+			if err != nil {
+				c.mu.Unlock()
+				return fl.RoundRecord{}, fmt.Errorf("round %d residual for client %d: %w", round, tg.id, err)
+			}
+			frames = append(frames, bp)
+			tg.frame, tg.residual = frame, true
+			continue
+		}
+		shared := &fullV1
+		if tg.proto >= ProtoV2 {
+			shared = &fullV2
+		}
+		if *shared == nil {
+			bp, frame, err := c.buildFullFrame(tg.proto, req)
+			if err != nil {
+				c.mu.Unlock()
+				return fl.RoundRecord{}, fmt.Errorf("round %d request: %w", round, err)
+			}
+			frames = append(frames, bp)
+			*shared = frame
+		}
+		tg.frame = *shared
 	}
+	c.mu.Unlock()
+
 	if obs != nil {
 		pc.Lap(fl.PhaseSelect)
 	}
@@ -425,6 +607,10 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		rep     TrainReply
 		retries int
 		err     error
+		// residual / proto describe the frame of the last delivery attempt,
+		// which is what the downlink-state commit must mirror.
+		residual bool
+		proto    byte
 	}
 	results := make([]outcome, len(targets))
 	// finalGen[slot] is the registration generation of the last connection
@@ -432,23 +618,32 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	// clobber a connection it never touched. Each index is written only by
 	// its own goroutine before wg.Wait.
 	finalGen := make([]int, len(targets))
+	// Downlink (coordinator→client) and uplink (client→coordinator) frame
+	// bytes actually exchanged this round — the measured volume the radio
+	// energy model prices.
+	var txBytes, rxBytes atomic.Int64
 	var wg sync.WaitGroup
 	deadline := time.Now().Add(c.cfg.RoundTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	exchange := func(conn net.Conn, id int) (TrainReply, error) {
+	exchange := func(conn net.Conn, id int, frame []byte, cl *clientConn) (TrainReply, error) {
 		if err := conn.SetDeadline(deadline); err != nil {
 			return TrainReply{}, fmt.Errorf("client %d deadline: %w", id, err)
 		}
-		if err := writeFrame(conn, MsgTrainRequest, reqPayload); err != nil {
+		if _, err := conn.Write(frame); err != nil {
 			return TrainReply{}, fmt.Errorf("client %d request: %w", id, err)
 		}
-		payload, err := expectFrame(conn, MsgTrainReply)
+		txBytes.Add(int64(len(frame)))
+		payload, err := expectFrameInto(conn, MsgTrainReply, &cl.readBuf)
 		if err != nil {
 			return TrainReply{}, fmt.Errorf("client %d reply: %w", id, err)
 		}
-		rep, err := decodeTrainReply(payload)
+		rxBytes.Add(int64(frameHeaderLen + len(payload)))
+		if cl.repModel == nil {
+			cl.repModel = &ml.Model{}
+		}
+		rep, err := decodeTrainReplyInto(payload, cl.repModel)
 		if err != nil {
 			return TrainReply{}, fmt.Errorf("client %d reply body: %w", id, err)
 		}
@@ -462,10 +657,17 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		wg.Add(1)
 		go func(slot int, tg target) {
 			defer wg.Done()
-			o := outcome{slot: slot}
+			o := outcome{slot: slot, residual: tg.residual, proto: tg.proto}
 			conn, gen := tg.conn, tg.gen
+			frame := tg.frame
+			var retryBp *[]byte
+			defer func() {
+				if retryBp != nil {
+					freeFrame(retryBp)
+				}
+			}()
 			for {
-				rep, err := exchange(conn, tg.id)
+				rep, err := exchange(conn, tg.id, frame, tg.cl)
 				if err == nil {
 					o.rep = rep
 					break
@@ -473,19 +675,67 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 				// In-round repair: if the client re-registers within the
 				// grace window, re-send this round's request on its fresh
 				// connection instead of dropping it.
-				nc, ng, ok := c.awaitRejoin(tg.id, gen, deadline)
+				nc, ng, nproto, ok := c.awaitRejoin(tg.id, gen, deadline)
 				if !ok {
 					o.err = err
 					break
 				}
 				conn, gen = nc, ng
 				o.retries++
+				// The fresh connection lost all downlink state: re-send as a
+				// full model at the rejoined connection's protocol version.
+				o.residual = false
+				o.proto = nproto
+				if retryBp != nil {
+					freeFrame(retryBp)
+					retryBp = nil
+				}
+				var ferr error
+				retryBp, frame, ferr = c.buildFullFrame(nproto, req)
+				if ferr != nil {
+					o.err = ferr
+					break
+				}
 			}
 			finalGen[slot] = gen
 			results[slot] = o
 		}(slot, tg)
 	}
 	wg.Wait()
+
+	// Commit per-client downlink state for every delivered request — before
+	// quorum filtering, because delivery is a property of the wire, not of
+	// the round's outcome: an edge that received this broadcast holds it as
+	// its base whether or not the round later reaches quorum. The gen check
+	// skips slots that re-registered after the delivery (register already
+	// reset their state to full-send).
+	c.mu.Lock()
+	for slot, tg := range targets {
+		o := results[slot]
+		if o.err != nil || tg.id >= len(c.clients) {
+			continue
+		}
+		cl := c.clients[tg.id]
+		if cl.gen != finalGen[slot] {
+			continue
+		}
+		if o.proto < ProtoV2 {
+			cl.lastSent = nil
+			continue
+		}
+		if o.residual {
+			// The staged reconstruction becomes the client's state; the
+			// old state buffer is recycled as the next staging area.
+			cl.lastSent, cl.pending = cl.pending, cl.lastSent
+		} else if cl.lastSent == nil {
+			cl.lastSent = c.snap.Clone()
+		} else if err := cl.lastSent.CopyFrom(c.snap); err != nil {
+			c.mu.Unlock()
+			return fl.RoundRecord{}, fmt.Errorf("round %d downlink state: %w", round, err)
+		}
+		cl.lastRound = round
+	}
+	c.mu.Unlock()
 
 	// Fault tolerance: with MinReplies set, drop failed clients from the
 	// round and continue on the survivors; otherwise any failure aborts.
@@ -527,8 +777,15 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		pc.Lap(fl.PhaseTrain)
 	}
 
-	// Aggregate per Eq. (2) over the survivors.
-	agg := ml.NewModel(c.cfg.Classes, c.cfg.Features, globalSnapshot.Act)
+	// Aggregate per Eq. (2) over the survivors, into the spare model that
+	// ping-pongs with the global at commit.
+	if c.spare == nil {
+		c.spare = ml.NewModel(c.cfg.Classes, c.cfg.Features, c.snap.Act)
+	} else {
+		c.spare.Zero()
+		c.spare.Act = c.snap.Act
+	}
+	agg := c.spare
 	for _, r := range ok {
 		if err := agg.AddScaled(1/float64(len(ok)), r.rep.Model); err != nil {
 			return fl.RoundRecord{}, fmt.Errorf("round %d aggregate: %w", round, err)
@@ -543,11 +800,13 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		survivors[i] = targets[r.slot].id
 	}
 	rec := fl.RoundRecord{
-		Round:        round,
-		Selected:     survivors,
-		LearningRate: lr,
-		TestAccuracy: math.NaN(),
-		LocalLosses:  make([]float64, len(ok)),
+		Round:         round,
+		Selected:      survivors,
+		LearningRate:  lr,
+		TestAccuracy:  math.NaN(),
+		LocalLosses:   make([]float64, len(ok)),
+		DownlinkBytes: txBytes.Load(),
+		UplinkBytes:   rxBytes.Load(),
 	}
 	for _, slot := range dropped {
 		rec.Dropped = append(rec.Dropped, targets[slot].id)
@@ -584,6 +843,9 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	c.mu.Lock()
 	rec.Rejoins = c.rejoins
 	c.rejoins = 0
+	// Ping-pong: the aggregated spare becomes the global; the old global's
+	// storage becomes next round's aggregation target.
+	c.spare = c.global
 	c.global = agg
 	c.round++
 	c.history = append(c.history, rec)
@@ -594,6 +856,8 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		st.Dropped = len(rec.Dropped)
 		st.Rejoins = rec.Rejoins
 		st.Retries = rec.Retries
+		st.DownlinkBytes = rec.DownlinkBytes
+		st.UplinkBytes = rec.UplinkBytes
 		obs.ObserveRound(st)
 	}
 	return rec, nil

@@ -37,6 +37,15 @@ type EdgeConfig struct {
 	DialTimeout time.Duration
 	// Seed drives local mini-batch shuffling and retry jitter.
 	Seed uint64
+	// Protocol pins the wire protocol version this edge advertises
+	// (ProtoV1 or ProtoV2). Zero advertises the newest version; the
+	// coordinator's Welcome carries the negotiated one. Pin ProtoV1 when
+	// talking to a pre-v2 coordinator, which rejects versioned handshakes.
+	Protocol byte
+	// Counters, when non-nil, accumulates frame-level TX/RX byte counts
+	// across every connection this config opens (handshakes included) —
+	// the measured transfer volume the radio energy model prices.
+	Counters *WireCounters
 	// Retry enables automatic redial plus re-registration after a
 	// connection failure. The zero value keeps the legacy fail-fast
 	// behaviour: one attempt, and an abrupt coordinator disappearance is
@@ -58,11 +67,26 @@ func (cfg EdgeConfig) dialer() func(string, time.Duration) (net.Conn, error) {
 
 // EdgeServer is a connected, registered edge server.
 type EdgeServer struct {
-	cfg  EdgeConfig
-	conn net.Conn
-	id   int
+	cfg   EdgeConfig
+	conn  net.Conn
+	id    int
+	proto byte
 	// roundsServed counts completed local-training requests.
 	roundsServed int
+
+	// Per-connection scratch for the zero-copy round path. readBuf is the
+	// frame read scratch; base is the reconstructed global model the v2
+	// residual downlink accumulates into (v1 overwrites it whole every
+	// round); work is the model actually trained (a copy of base, so base
+	// stays the pristine broadcast residuals apply to); resid is the
+	// dequantized-residual scratch; sgd persists its shuffle scratch.
+	readBuf   []byte
+	base      *ml.Model
+	haveBase  bool
+	baseRound int
+	work      *ml.Model
+	resid     *ml.Model
+	sgd       *ml.SGD
 }
 
 // Dial connects to the coordinator and performs the Join/Welcome handshake.
@@ -80,6 +104,14 @@ func dialAs(cfg EdgeConfig, rejoinID int) (*EdgeServer, error) {
 	if err := cfg.Shard.Validate(); err != nil {
 		return nil, fmt.Errorf("shard: %w", err)
 	}
+	advertised := cfg.Protocol
+	switch advertised {
+	case 0:
+		advertised = ProtoV2
+	case ProtoV1, ProtoV2:
+	default:
+		return nil, fmt.Errorf("protocol version %d: %w", advertised, ErrEdge)
+	}
 	timeout := cfg.DialTimeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -92,24 +124,35 @@ func dialAs(cfg EdgeConfig, rejoinID int) (*EdgeServer, error) {
 		conn.Close()
 		return nil, fmt.Errorf("handshake deadline: %w", err)
 	}
+	var regBody []byte
+	var regType MsgType
 	if rejoinID < 0 {
-		err = writeFrame(conn, MsgJoin, encodeUint32(uint32(cfg.Shard.Len())))
+		regType = MsgJoin
+		regBody = encodeJoin(uint32(cfg.Shard.Len()), advertised)
 	} else {
-		err = writeFrame(conn, MsgRejoin, encodeRejoin(uint32(rejoinID), uint32(cfg.Shard.Len())))
+		regType = MsgRejoin
+		regBody = encodeRejoinProto(uint32(rejoinID), uint32(cfg.Shard.Len()), advertised)
 	}
-	if err != nil {
+	if err := writeFrame(conn, regType, regBody); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("register: %w", err)
 	}
+	cfg.Counters.AddTx(frameHeaderLen + len(regBody))
 	payload, err := expectFrame(conn, MsgWelcome)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("welcome: %w", err)
 	}
-	id, err := decodeUint32(payload)
+	cfg.Counters.AddRx(frameHeaderLen + len(payload))
+	id, proto, err := decodeWelcome(payload)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("welcome body: %w", err)
+	}
+	if proto > advertised {
+		conn.Close()
+		return nil, fmt.Errorf("advertised v%d, coordinator negotiated v%d: %w",
+			advertised, proto, ErrProtocol)
 	}
 	if rejoinID >= 0 && int(id) != rejoinID {
 		conn.Close()
@@ -119,11 +162,14 @@ func dialAs(cfg EdgeConfig, rejoinID int) (*EdgeServer, error) {
 		conn.Close()
 		return nil, fmt.Errorf("clear deadline: %w", err)
 	}
-	return &EdgeServer{cfg: cfg, conn: conn, id: int(id)}, nil
+	return &EdgeServer{cfg: cfg, conn: conn, id: int(id), proto: proto}, nil
 }
 
 // ID returns the coordinator-assigned client id.
 func (e *EdgeServer) ID() int { return e.id }
+
+// Protocol returns the negotiated wire protocol version.
+func (e *EdgeServer) Protocol() byte { return e.proto }
 
 // RoundsServed returns how many training requests this server has completed.
 func (e *EdgeServer) RoundsServed() int { return e.roundsServed }
@@ -150,13 +196,14 @@ func (e *EdgeServer) Serve(ctx context.Context) error {
 	}()
 
 	for {
-		t, payload, err := readFrame(e.conn)
+		t, payload, err := readFrameInto(e.conn, &e.readBuf)
 		if err != nil {
 			if ctx.Err() != nil {
 				return fmt.Errorf("serve: %w", ctx.Err())
 			}
 			return fmt.Errorf("serve read: %v: %w", err, ErrConnLost)
 		}
+		e.cfg.Counters.AddRx(frameHeaderLen + len(payload))
 		switch t {
 		case MsgShutdown:
 			return nil
@@ -175,41 +222,106 @@ func (e *EdgeServer) Serve(ctx context.Context) error {
 	}
 }
 
+// decodeRequest parses a train request at the connection's negotiated
+// version and reconstructs the broadcast global model into e.base: v1 and
+// v2 full-model requests overwrite it, v2 residual requests apply the
+// quantized delta against the broadcast this connection last acknowledged.
+// Wire and state mismatches wrap ErrConnLost: a reconnect resets both ends
+// to a full-model send, which is the repair.
+func (e *EdgeServer) decodeRequest(payload []byte) (TrainRequest, error) {
+	var req TrainRequest
+	var body []byte
+	var err error
+	if e.proto >= ProtoV2 {
+		req, body, err = decodeTrainRequestV2(payload)
+	} else {
+		req, body, err = decodeTrainRequestHeader(payload)
+	}
+	if err != nil {
+		return TrainRequest{}, fmt.Errorf("train request: %v: %w", err, ErrConnLost)
+	}
+	if e.base == nil {
+		e.base = &ml.Model{}
+	}
+	if req.DownBits == 0 {
+		if err := e.base.UnmarshalBinaryReuse(body); err != nil {
+			return TrainRequest{}, fmt.Errorf("round %d request model: %v: %w", req.Round, err, ErrConnLost)
+		}
+	} else {
+		if !e.haveBase {
+			return TrainRequest{}, fmt.Errorf("round %d residual without a base model: %w",
+				req.Round, ErrConnLost)
+		}
+		if req.BaseRound != e.baseRound {
+			return TrainRequest{}, fmt.Errorf("round %d residual against round %d, have round %d: %w",
+				req.Round, req.BaseRound, e.baseRound, ErrConnLost)
+		}
+		if e.resid == nil {
+			e.resid = &ml.Model{}
+		}
+		if err := e.resid.DequantizeInto(body); err != nil {
+			return TrainRequest{}, fmt.Errorf("round %d residual: %v: %w", req.Round, err, ErrConnLost)
+		}
+		if err := e.base.AddScaled(1, e.resid); err != nil {
+			return TrainRequest{}, fmt.Errorf("round %d apply residual: %v: %w", req.Round, err, ErrConnLost)
+		}
+	}
+	e.haveBase = true
+	e.baseRound = req.Round
+	return req, nil
+}
+
 // handleTrain runs the requested local epochs and replies with the updated
 // model. Wire-level failures wrap ErrConnLost; local training failures are
 // returned as-is (retrying would rerun the same broken computation).
 func (e *EdgeServer) handleTrain(payload []byte) error {
-	req, err := decodeTrainRequest(payload)
+	req, err := e.decodeRequest(payload)
 	if err != nil {
-		return fmt.Errorf("train request: %v: %w", err, ErrConnLost)
+		return err
 	}
-	local := req.Model // the decoded copy is ours to mutate
-	sgd, err := ml.NewSGD(ml.SGDConfig{
+	// Train a copy so base stays the pristine broadcast future residuals
+	// apply to.
+	if e.work == nil || e.work.Classes() != e.base.Classes() || e.work.Features() != e.base.Features() {
+		e.work = e.base.Clone()
+	} else if err := e.work.CopyFrom(e.base); err != nil {
+		return fmt.Errorf("round %d work copy: %w", req.Round, err)
+	}
+	sgdCfg := ml.SGDConfig{
 		LearningRate: req.LearningRate,
 		BatchSize:    e.cfg.BatchSize,
 		Seed:         e.cfg.Seed ^ uint64(req.Round)<<16,
-	})
+	}
+	if e.sgd == nil {
+		e.sgd, err = ml.NewSGD(sgdCfg)
+	} else {
+		err = e.sgd.Reset(sgdCfg)
+	}
 	if err != nil {
 		return fmt.Errorf("round %d sgd: %w", req.Round, err)
 	}
-	losses, err := sgd.Train(local, e.cfg.Shard, req.Epochs)
+	loss, err := e.sgd.TrainFinal(e.work, e.cfg.Shard, req.Epochs)
 	if err != nil {
 		return fmt.Errorf("round %d train: %w", req.Round, err)
 	}
 	rep := TrainReply{
 		Round:   req.Round,
-		Loss:    losses[len(losses)-1],
+		Loss:    loss,
 		Samples: e.cfg.Shard.Len(),
 		Bits:    req.ReplyBits,
-		Model:   local,
+		Model:   e.work,
 	}
-	repPayload, err := encodeTrainReply(rep)
+	bp := newFrame()
+	defer freeFrame(bp)
+	out, err := appendTrainReply(*bp, rep)
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(e.conn, MsgTrainReply, repPayload); err != nil {
+	*bp = out
+	n, err := writeFrameBuf(e.conn, MsgTrainReply, bp)
+	if err != nil {
 		return fmt.Errorf("round %d reply: %v: %w", req.Round, err, ErrConnLost)
 	}
+	e.cfg.Counters.AddTx(n)
 	e.roundsServed++
 	return nil
 }

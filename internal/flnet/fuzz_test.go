@@ -46,6 +46,47 @@ func FuzzDecodeTrainRequest(f *testing.F) {
 	})
 }
 
+func FuzzDecodeTrainRequestV2(f *testing.F) {
+	m := ml.NewModel(2, 3, ml.Softmax)
+	full := appendTrainRequestV2Header(nil, TrainRequest{Round: 2, BaseRound: 2, Epochs: 1, LearningRate: 0.1})
+	full = m.AppendBinary(full)
+	f.Add(full)
+	resid := appendTrainRequestV2Header(nil, TrainRequest{Round: 2, BaseRound: 1, DownBits: ml.Quant8, Epochs: 1, LearningRate: 0.1})
+	resid, err := ml.AppendQuantized(resid, m, ml.Quant8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(resid)
+	// Truncated residual: valid header, short quantized body.
+	f.Add(resid[:len(resid)-3])
+	// Header-only, empty, and a reserved-byte violation.
+	f.Add(full[:trainReqV2HeaderLen])
+	f.Add([]byte{})
+	bad := append([]byte(nil), full...)
+	bad[21] = 0xff
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, body, err := decodeTrainRequestV2(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy the header invariants the edge
+		// relies on, and the body must either decode or error — no panics.
+		if req.DownBits == 0 && req.BaseRound != req.Round {
+			t.Fatalf("full request with base %d != round %d accepted", req.BaseRound, req.Round)
+		}
+		if req.BaseRound > req.Round {
+			t.Fatalf("future base round accepted: %+v", req)
+		}
+		var scratch ml.Model
+		if req.DownBits == 0 {
+			_ = scratch.UnmarshalBinaryReuse(body)
+		} else {
+			_ = scratch.DequantizeInto(body)
+		}
+	})
+}
+
 func FuzzDecodeTrainReply(f *testing.F) {
 	m := ml.NewModel(2, 3, ml.Sigmoid)
 	full, err := encodeTrainReply(TrainReply{Round: 1, Loss: 0.5, Samples: 10, Model: m})
@@ -111,6 +152,23 @@ func FuzzRejoinHandshake(f *testing.F) {
 	f.Add(wrongType.Bytes())
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 42})
 	f.Add([]byte{})
+	// Versioned (v2) handshakes, plus mismatched version bytes: a versioned
+	// body advertising v1, and a far-future version that must negotiate down.
+	var joinV2 bytes.Buffer
+	_ = writeFrame(&joinV2, MsgJoin, encodeJoin(50, ProtoV2))
+	f.Add(joinV2.Bytes())
+	var rejoinV2 bytes.Buffer
+	_ = writeFrame(&rejoinV2, MsgRejoin, encodeRejoinProto(0, 50, ProtoV2))
+	f.Add(rejoinV2.Bytes())
+	var joinBadVer bytes.Buffer
+	_ = writeFrame(&joinBadVer, MsgJoin, []byte{50, 0, 0, 0, ProtoV1})
+	f.Add(joinBadVer.Bytes())
+	var joinFuture bytes.Buffer
+	_ = writeFrame(&joinFuture, MsgJoin, encodeJoin(50, 250))
+	f.Add(joinFuture.Bytes())
+	// Oversized length prefix: promises maxFrameBytes+1, must be rejected
+	// deterministically before any allocation of that size.
+	f.Add([]byte{0x04, 0x00, 0x00, 0x01, byte(MsgJoin)})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// A fresh in-package coordinator with one pre-registered client, so

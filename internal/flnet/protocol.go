@@ -13,6 +13,17 @@
 //
 // The protocol is strictly request/reply per connection, so no concurrent
 // writes occur on a single conn.
+//
+// Two protocol versions share this framing. ProtoV1 is the seed protocol:
+// 4-byte Join/Welcome bodies and a MsgTrainRequest that always carries the
+// full float64 global model. ProtoV2 appends a version byte to the
+// Join/Rejoin/Welcome handshake (a 4-byte Join is implicitly v1, which is
+// the interop fallback) and extends MsgTrainRequest with a downlink codec:
+// the global model may travel as a quantized residual against the last
+// broadcast the client acknowledged, cutting downlink bytes ~64/bits-fold.
+// The hot path on both ends runs over pooled frame buffers: one coalesced
+// write per frame, reads into capacity-tracked scratch, and model bodies
+// encoded/decoded directly in the frame buffer.
 package flnet
 
 import (
@@ -21,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"eefei/internal/ml"
 )
@@ -30,25 +42,28 @@ type MsgType byte
 
 const (
 	// MsgJoin is sent by an edge server immediately after dialing:
-	// payload = uint32 sample count of its local shard.
+	// payload = uint32 sample count of its local shard, optionally followed
+	// by one protocol-version byte (absent = ProtoV1).
 	MsgJoin MsgType = iota + 1
 	// MsgWelcome is the coordinator's reply to MsgJoin:
-	// payload = uint32 assigned client id.
+	// payload = uint32 assigned client id, followed by the negotiated
+	// protocol version byte when the joiner advertised v2 or newer.
 	MsgWelcome
-	// MsgTrainRequest asks a client to run local training:
-	// payload = uint32 round, uint32 epochs, float64 learning rate,
-	// serialized global model.
+	// MsgTrainRequest asks a client to run local training. V1 payload =
+	// uint32 round, uint32 epochs, float64 learning rate, uint32 reply bits,
+	// serialized global model. V2 payload: see trainReqV2HeaderLen.
 	MsgTrainRequest
 	// MsgTrainReply returns the locally trained model:
 	// payload = uint32 round, float64 final local loss, uint32 samples,
-	// serialized local model.
+	// serialized local model. Identical in v1 and v2.
 	MsgTrainReply
 	// MsgShutdown tells a client training is over; payload is empty.
 	MsgShutdown
 	// MsgRejoin re-registers a previously welcomed client after a
 	// reconnect: payload = uint32 previously assigned client id, uint32
-	// sample count. The coordinator replies MsgWelcome echoing the same id
-	// and revives the client's roster slot.
+	// sample count, optional protocol-version byte (absent = ProtoV1). The
+	// coordinator replies MsgWelcome echoing the same id and revives the
+	// client's roster slot.
 	MsgRejoin
 )
 
@@ -72,6 +87,17 @@ func (m MsgType) String() string {
 	}
 }
 
+// Protocol versions carried in the handshake version byte. Negotiation is
+// min(joiner's advertised version, ProtoV2); a version-less 4-byte Join is
+// the v1 fallback, so a v1 edge interoperates with a v2 coordinator
+// unchanged.
+const (
+	// ProtoV1 is the seed protocol: full float64 model downlink every round.
+	ProtoV1 byte = 1
+	// ProtoV2 adds the residual-quantized downlink codec to MsgTrainRequest.
+	ProtoV2 byte = 2
+)
+
 // ErrProtocol is returned (wrapped) for malformed or unexpected frames.
 var ErrProtocol = errors.New("flnet: protocol error")
 
@@ -79,34 +105,104 @@ var ErrProtocol = errors.New("flnet: protocol error")
 // allocation; 64 MiB comfortably covers any linear model we train.
 const maxFrameBytes = 64 << 20
 
-// writeFrame sends one frame.
+// frameHeaderLen is the length prefix plus the type byte.
+const frameHeaderLen = 5
+
+// framePool recycles whole-frame buffers (header + payload built in one
+// slice) across rounds and connections. Buffers are handed out with the
+// header bytes reserved so payload encoders can append directly and
+// finishFrame can patch the header in place for a single coalesced write.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// newFrame returns a pooled buffer primed with frameHeaderLen reserved
+// bytes. Append the payload to *bp, then seal with finishFrame and release
+// with freeFrame.
+func newFrame() *[]byte {
+	bp := framePool.Get().(*[]byte)
+	*bp = append((*bp)[:0], 0, 0, 0, 0, 0)
+	return bp
+}
+
+// freeFrame returns a frame buffer to the pool.
+func freeFrame(bp *[]byte) { framePool.Put(bp) }
+
+// finishFrame patches the length prefix and type byte into the header bytes
+// reserved by newFrame and returns the complete wire image (aliasing *bp).
+func finishFrame(bp *[]byte, t MsgType) ([]byte, error) {
+	buf := *bp
+	payload := len(buf) - frameHeaderLen
+	if payload+1 > maxFrameBytes {
+		return nil, fmt.Errorf("frame of %d bytes exceeds cap: %w", payload, ErrProtocol)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(payload+1))
+	buf[4] = byte(t)
+	return buf, nil
+}
+
+// writeFrame sends one frame as a single coalesced write — header, type and
+// payload staged in a pooled buffer, so steady-state frames cost zero heap
+// allocations and exactly one syscall on a net.Conn.
 func writeFrame(w io.Writer, t MsgType, payload []byte) error {
-	if len(payload)+1 > maxFrameBytes {
-		return fmt.Errorf("frame of %d bytes exceeds cap: %w", len(payload), ErrProtocol)
+	bp := newFrame()
+	defer freeFrame(bp)
+	*bp = append(*bp, payload...)
+	buf, err := finishFrame(bp, t)
+	if err != nil {
+		return err
 	}
-	header := make([]byte, 5)
-	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)+1))
-	header[4] = byte(t)
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("write %v header: %w", t, err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("write %v payload: %w", t, err)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write %v frame: %w", t, err)
 	}
 	return nil
 }
 
-// readFrame reads one frame.
+// writeFrameBuf seals a frame built directly in a pooled buffer (newFrame +
+// payload appends) and writes it in one call, returning the bytes put on the
+// wire. The buffer is not released; the caller owns it.
+func writeFrameBuf(w io.Writer, t MsgType, bp *[]byte) (int, error) {
+	buf, err := finishFrame(bp, t)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return 0, fmt.Errorf("write %v frame: %w", t, err)
+	}
+	return len(buf), nil
+}
+
+// readFrame reads one frame into freshly allocated storage. Handshake and
+// test paths use it; the per-round hot paths use readFrameInto.
 func readFrame(r io.Reader) (MsgType, []byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	var scratch []byte
+	return readFrameInto(r, &scratch)
+}
+
+// readFrameInto reads one frame into *scratch, growing it only when the
+// frame exceeds its capacity. The returned payload aliases *scratch and is
+// valid until the next call with the same scratch. The length prefix is read
+// into the scratch buffer too (not a stack array, which would escape through
+// the io.Reader interface and cost one heap object per frame).
+func readFrameInto(r io.Reader, scratch *[]byte) (MsgType, []byte, error) {
+	if cap(*scratch) < 4 {
+		*scratch = make([]byte, 0, 4096)
+	}
+	lenBuf := (*scratch)[:4]
+	if _, err := io.ReadFull(r, lenBuf); err != nil {
 		return 0, nil, fmt.Errorf("read frame length: %w", err)
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(lenBuf)
 	if n == 0 || n > maxFrameBytes {
 		return 0, nil, fmt.Errorf("frame length %d: %w", n, ErrProtocol)
 	}
-	body := make([]byte, n)
+	if cap(*scratch) < int(n) {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, fmt.Errorf("read frame body: %w", err)
 	}
@@ -115,7 +211,13 @@ func readFrame(r io.Reader) (MsgType, []byte, error) {
 
 // expectFrame reads a frame and verifies its type.
 func expectFrame(r io.Reader, want MsgType) ([]byte, error) {
-	got, payload, err := readFrame(r)
+	var scratch []byte
+	return expectFrameInto(r, want, &scratch)
+}
+
+// expectFrameInto is expectFrame reading into reusable scratch.
+func expectFrameInto(r io.Reader, want MsgType, scratch *[]byte) ([]byte, error) {
+	got, payload, err := readFrameInto(r, scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -136,27 +238,42 @@ type TrainRequest struct {
 	// width (0 = full-precision float64). Quantized uploads shrink the
 	// radio payload ~64/bits-fold — a direct e^U energy reduction.
 	ReplyBits ml.QuantBits
+	// DownBits records the codec the request's model body travelled in
+	// (v2 only): 0 = full float64 model, Quant8/Quant16 = quantized
+	// residual against the BaseRound broadcast.
+	DownBits ml.QuantBits
+	// BaseRound is the round whose broadcast the residual applies to; equal
+	// to Round for full-model requests.
+	BaseRound int
 	Model     *ml.Model
 }
 
 func encodeTrainRequest(req TrainRequest) ([]byte, error) {
-	modelBytes, err := req.Model.MarshalBinary()
-	if err != nil {
-		return nil, fmt.Errorf("encode request model: %w", err)
-	}
-	buf := make([]byte, 20, 20+len(modelBytes))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(req.Round))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(req.Epochs))
-	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(req.LearningRate))
-	binary.LittleEndian.PutUint32(buf[16:20], uint32(req.ReplyBits))
-	return append(buf, modelBytes...), nil
+	buf := make([]byte, 0, trainReqV1HeaderLen+req.Model.EncodedSize())
+	return appendTrainRequestV1(buf, req)
 }
 
-func decodeTrainRequest(payload []byte) (TrainRequest, error) {
-	if len(payload) < 20 {
-		return TrainRequest{}, fmt.Errorf("train request of %d bytes: %w", len(payload), ErrProtocol)
+// trainReqV1HeaderLen is the fixed v1 request header: round, epochs, lr,
+// reply bits.
+const trainReqV1HeaderLen = 20
+
+// appendTrainRequestV1 appends the seed-protocol request encoding to dst.
+func appendTrainRequestV1(dst []byte, req TrainRequest) ([]byte, error) {
+	var h [trainReqV1HeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(req.Round))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(req.Epochs))
+	binary.LittleEndian.PutUint64(h[8:16], math.Float64bits(req.LearningRate))
+	binary.LittleEndian.PutUint32(h[16:20], uint32(req.ReplyBits))
+	dst = append(dst, h[:]...)
+	return req.Model.AppendBinary(dst), nil
+}
+
+// decodeTrainRequestHeader parses the fixed v1 request header, returning the
+// model body unparsed.
+func decodeTrainRequestHeader(payload []byte) (req TrainRequest, body []byte, err error) {
+	if len(payload) < trainReqV1HeaderLen {
+		return TrainRequest{}, nil, fmt.Errorf("train request of %d bytes: %w", len(payload), ErrProtocol)
 	}
-	var req TrainRequest
 	req.Round = int(binary.LittleEndian.Uint32(payload[0:4]))
 	req.Epochs = int(binary.LittleEndian.Uint32(payload[4:8]))
 	req.LearningRate = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:16]))
@@ -164,14 +281,93 @@ func decodeTrainRequest(payload []byte) (TrainRequest, error) {
 	switch req.ReplyBits {
 	case 0, ml.Quant8, ml.Quant16:
 	default:
-		return TrainRequest{}, fmt.Errorf("reply bits %d: %w", req.ReplyBits, ErrProtocol)
+		return TrainRequest{}, nil, fmt.Errorf("reply bits %d: %w", req.ReplyBits, ErrProtocol)
+	}
+	req.BaseRound = req.Round
+	return req, payload[trainReqV1HeaderLen:], nil
+}
+
+func decodeTrainRequest(payload []byte) (TrainRequest, error) {
+	req, body, err := decodeTrainRequestHeader(payload)
+	if err != nil {
+		return TrainRequest{}, err
 	}
 	var m ml.Model
-	if err := m.UnmarshalBinary(payload[20:]); err != nil {
+	if err := m.UnmarshalBinary(body); err != nil {
 		return TrainRequest{}, fmt.Errorf("decode request model: %w", err)
 	}
 	req.Model = &m
 	return req, nil
+}
+
+// trainReqV2HeaderLen is the fixed v2 request header:
+//
+//	uint32  round
+//	uint32  epochs
+//	float64 learning rate
+//	uint32  reply bits
+//	uint8   downlink bits (0 = body is a full EFM model; 8/16 = body is an
+//	        EFQ-quantized residual against the BaseRound broadcast)
+//	uint8   reserved, must be zero
+//	uint32  base round (== round for full-model requests)
+//
+// followed by the model body.
+const trainReqV2HeaderLen = 26
+
+// appendTrainRequestV2Header appends the v2 header to dst; the caller then
+// appends the model body (ml.Model.AppendBinary or ml.AppendQuantized).
+func appendTrainRequestV2Header(dst []byte, req TrainRequest) []byte {
+	var h [trainReqV2HeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(req.Round))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(req.Epochs))
+	binary.LittleEndian.PutUint64(h[8:16], math.Float64bits(req.LearningRate))
+	binary.LittleEndian.PutUint32(h[16:20], uint32(req.ReplyBits))
+	h[20] = byte(req.DownBits)
+	h[21] = 0
+	binary.LittleEndian.PutUint32(h[22:26], uint32(req.BaseRound))
+	return append(dst, h[:]...)
+}
+
+// decodeTrainRequestV2 parses a v2 request header. The returned request's
+// Model is nil; the raw model body (aliasing payload) comes back separately
+// so the edge can decode it into long-lived scratch according to DownBits.
+func decodeTrainRequestV2(payload []byte) (req TrainRequest, body []byte, err error) {
+	if len(payload) < trainReqV2HeaderLen {
+		return TrainRequest{}, nil, fmt.Errorf("v2 train request of %d bytes: %w", len(payload), ErrProtocol)
+	}
+	req.Round = int(binary.LittleEndian.Uint32(payload[0:4]))
+	req.Epochs = int(binary.LittleEndian.Uint32(payload[4:8]))
+	req.LearningRate = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:16]))
+	req.ReplyBits = ml.QuantBits(binary.LittleEndian.Uint32(payload[16:20]))
+	switch req.ReplyBits {
+	case 0, ml.Quant8, ml.Quant16:
+	default:
+		return TrainRequest{}, nil, fmt.Errorf("reply bits %d: %w", req.ReplyBits, ErrProtocol)
+	}
+	req.DownBits = ml.QuantBits(payload[20])
+	switch req.DownBits {
+	case 0, ml.Quant8, ml.Quant16:
+	default:
+		return TrainRequest{}, nil, fmt.Errorf("downlink bits %d: %w", req.DownBits, ErrProtocol)
+	}
+	if payload[21] != 0 {
+		return TrainRequest{}, nil, fmt.Errorf("reserved byte %d: %w", payload[21], ErrProtocol)
+	}
+	req.BaseRound = int(binary.LittleEndian.Uint32(payload[22:26]))
+	if req.DownBits == 0 {
+		if req.BaseRound != req.Round {
+			return TrainRequest{}, nil, fmt.Errorf("full request base round %d != round %d: %w",
+				req.BaseRound, req.Round, ErrProtocol)
+		}
+	} else if req.BaseRound > req.Round {
+		return TrainRequest{}, nil, fmt.Errorf("residual base round %d > round %d: %w",
+			req.BaseRound, req.Round, ErrProtocol)
+	}
+	body = payload[trainReqV2HeaderLen:]
+	if len(body) == 0 {
+		return TrainRequest{}, nil, fmt.Errorf("v2 train request without model body: %w", ErrProtocol)
+	}
+	return req, body, nil
 }
 
 // TrainReply is the decoded form of MsgTrainReply.
@@ -189,30 +385,43 @@ type TrainReply struct {
 	Model     *ml.Model
 }
 
-func encodeTrainReply(rep TrainReply) ([]byte, error) {
-	var modelBytes []byte
-	var err error
+// trainRepHeaderLen is the fixed reply header: round, loss, samples, bits.
+const trainRepHeaderLen = 20
+
+// appendTrainReply appends the reply encoding (header + model in the
+// rep.Bits codec) to dst — the zero-copy path writing straight into a
+// pooled frame buffer.
+func appendTrainReply(dst []byte, rep TrainReply) ([]byte, error) {
+	var h [trainRepHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(rep.Round))
+	binary.LittleEndian.PutUint64(h[4:12], math.Float64bits(rep.Loss))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(rep.Samples))
+	binary.LittleEndian.PutUint32(h[16:20], uint32(rep.Bits))
+	dst = append(dst, h[:]...)
 	switch rep.Bits {
 	case 0:
-		modelBytes, err = rep.Model.MarshalBinary()
+		return rep.Model.AppendBinary(dst), nil
 	case ml.Quant8, ml.Quant16:
-		modelBytes, err = ml.QuantizeModel(rep.Model, rep.Bits)
+		out, err := ml.AppendQuantized(dst, rep.Model, rep.Bits)
+		if err != nil {
+			return nil, fmt.Errorf("encode reply model: %w", err)
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("reply bits %d: %w", rep.Bits, ErrProtocol)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("encode reply model: %w", err)
-	}
-	buf := make([]byte, 20, 20+len(modelBytes))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(rep.Round))
-	binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(rep.Loss))
-	binary.LittleEndian.PutUint32(buf[12:16], uint32(rep.Samples))
-	binary.LittleEndian.PutUint32(buf[16:20], uint32(rep.Bits))
-	return append(buf, modelBytes...), nil
 }
 
-func decodeTrainReply(payload []byte) (TrainReply, error) {
-	if len(payload) < 20 {
+func encodeTrainReply(rep TrainReply) ([]byte, error) {
+	return appendTrainReply(nil, rep)
+}
+
+// decodeTrainReplyInto decodes a reply, reusing m's parameter storage for
+// the model body when shapes match (the coordinator keeps one scratch model
+// per roster slot, making warm-round reply decoding allocation-free). On
+// success rep.Model == m.
+func decodeTrainReplyInto(payload []byte, m *ml.Model) (TrainReply, error) {
+	if len(payload) < trainRepHeaderLen {
 		return TrainReply{}, fmt.Errorf("train reply of %d bytes: %w", len(payload), ErrProtocol)
 	}
 	var rep TrainReply
@@ -220,25 +429,27 @@ func decodeTrainReply(payload []byte) (TrainReply, error) {
 	rep.Loss = math.Float64frombits(binary.LittleEndian.Uint64(payload[4:12]))
 	rep.Samples = int(binary.LittleEndian.Uint32(payload[12:16]))
 	rep.Bits = ml.QuantBits(binary.LittleEndian.Uint32(payload[16:20]))
-	rep.WireBytes = len(payload) - 20
-	body := payload[20:]
+	rep.WireBytes = len(payload) - trainRepHeaderLen
+	body := payload[trainRepHeaderLen:]
 	switch rep.Bits {
 	case 0:
-		var m ml.Model
-		if err := m.UnmarshalBinary(body); err != nil {
+		if err := m.UnmarshalBinaryReuse(body); err != nil {
 			return TrainReply{}, fmt.Errorf("decode reply model: %w", err)
 		}
-		rep.Model = &m
 	case ml.Quant8, ml.Quant16:
-		m, err := ml.DequantizeModel(body)
-		if err != nil {
+		if err := m.DequantizeInto(body); err != nil {
 			return TrainReply{}, fmt.Errorf("decode quantized reply: %w", err)
 		}
-		rep.Model = m
 	default:
 		return TrainReply{}, fmt.Errorf("reply bits %d: %w", rep.Bits, ErrProtocol)
 	}
+	rep.Model = m
 	return rep, nil
+}
+
+func decodeTrainReply(payload []byte) (TrainReply, error) {
+	var m ml.Model
+	return decodeTrainReplyInto(payload, &m)
 }
 
 func encodeUint32(v uint32) []byte {
@@ -254,7 +465,68 @@ func decodeUint32(payload []byte) (uint32, error) {
 	return binary.LittleEndian.Uint32(payload), nil
 }
 
-// encodeRejoin builds the MsgRejoin body: previously assigned id + samples.
+// encodeJoin builds the MsgJoin body: shard sample count, plus the
+// advertised protocol version when it is v2 or newer (a 4-byte body is the
+// v1 fallback the seed coordinator understands).
+func encodeJoin(samples uint32, proto byte) []byte {
+	if proto <= ProtoV1 {
+		return encodeUint32(samples)
+	}
+	buf := make([]byte, 5)
+	binary.LittleEndian.PutUint32(buf[0:4], samples)
+	buf[4] = proto
+	return buf
+}
+
+// decodeJoin parses the MsgJoin body. A version-less 4-byte body advertises
+// ProtoV1; a 5-byte body must advertise at least ProtoV2 (a v1 client never
+// sends the version byte).
+func decodeJoin(payload []byte) (samples uint32, proto byte, err error) {
+	switch len(payload) {
+	case 4:
+		return binary.LittleEndian.Uint32(payload), ProtoV1, nil
+	case 5:
+		proto = payload[4]
+		if proto < ProtoV2 {
+			return 0, 0, fmt.Errorf("versioned join advertising v%d: %w", proto, ErrProtocol)
+		}
+		return binary.LittleEndian.Uint32(payload[0:4]), proto, nil
+	default:
+		return 0, 0, fmt.Errorf("join body of %d bytes: %w", len(payload), ErrProtocol)
+	}
+}
+
+// encodeWelcome builds the MsgWelcome body: the assigned client id, plus the
+// negotiated protocol version byte for v2+ clients (v1 clients receive the
+// seed 4-byte body).
+func encodeWelcome(id uint32, proto byte) []byte {
+	if proto <= ProtoV1 {
+		return encodeUint32(id)
+	}
+	buf := make([]byte, 5)
+	binary.LittleEndian.PutUint32(buf[0:4], id)
+	buf[4] = proto
+	return buf
+}
+
+// decodeWelcome parses the MsgWelcome body; a 4-byte body negotiates v1.
+func decodeWelcome(payload []byte) (id uint32, proto byte, err error) {
+	switch len(payload) {
+	case 4:
+		return binary.LittleEndian.Uint32(payload), ProtoV1, nil
+	case 5:
+		proto = payload[4]
+		if proto < ProtoV2 {
+			return 0, 0, fmt.Errorf("versioned welcome negotiating v%d: %w", proto, ErrProtocol)
+		}
+		return binary.LittleEndian.Uint32(payload[0:4]), proto, nil
+	default:
+		return 0, 0, fmt.Errorf("welcome body of %d bytes: %w", len(payload), ErrProtocol)
+	}
+}
+
+// encodeRejoin builds the MsgRejoin body: previously assigned id + samples,
+// plus the advertised protocol version for v2+ clients.
 func encodeRejoin(id, samples uint32) []byte {
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint32(buf[0:4], id)
@@ -262,10 +534,35 @@ func encodeRejoin(id, samples uint32) []byte {
 	return buf
 }
 
-// decodeRejoin parses the MsgRejoin body.
-func decodeRejoin(payload []byte) (id, samples uint32, err error) {
-	if len(payload) != 8 {
-		return 0, 0, fmt.Errorf("rejoin body of %d bytes: %w", len(payload), ErrProtocol)
+// encodeRejoinProto is encodeRejoin carrying a protocol version byte.
+func encodeRejoinProto(id, samples uint32, proto byte) []byte {
+	if proto <= ProtoV1 {
+		return encodeRejoin(id, samples)
 	}
-	return binary.LittleEndian.Uint32(payload[0:4]), binary.LittleEndian.Uint32(payload[4:8]), nil
+	return append(encodeRejoin(id, samples), proto)
+}
+
+// decodeRejoin parses the MsgRejoin body; an 8-byte body advertises ProtoV1.
+func decodeRejoin(payload []byte) (id, samples uint32, proto byte, err error) {
+	switch len(payload) {
+	case 8:
+		proto = ProtoV1
+	case 9:
+		proto = payload[8]
+		if proto < ProtoV2 {
+			return 0, 0, 0, fmt.Errorf("versioned rejoin advertising v%d: %w", proto, ErrProtocol)
+		}
+	default:
+		return 0, 0, 0, fmt.Errorf("rejoin body of %d bytes: %w", len(payload), ErrProtocol)
+	}
+	return binary.LittleEndian.Uint32(payload[0:4]), binary.LittleEndian.Uint32(payload[4:8]), proto, nil
+}
+
+// negotiate returns the protocol version the coordinator speaks with a
+// client that advertised the given version.
+func negotiate(advertised byte) byte {
+	if advertised > ProtoV2 {
+		return ProtoV2
+	}
+	return advertised
 }

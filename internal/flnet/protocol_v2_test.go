@@ -1,0 +1,515 @@
+package flnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"eefei/internal/dataset"
+	"eefei/internal/fl"
+	"eefei/internal/ml"
+)
+
+// --- v2 codec unit tests -----------------------------------------------------
+
+func TestHandshakeCodecs(t *testing.T) {
+	// Join: v1 stays the seed 4-byte body, v2 appends the version byte.
+	if got := encodeJoin(7, ProtoV1); len(got) != 4 {
+		t.Errorf("v1 join body = %d bytes, want 4", len(got))
+	}
+	samples, proto, err := decodeJoin(encodeJoin(7, ProtoV2))
+	if err != nil || samples != 7 || proto != ProtoV2 {
+		t.Errorf("v2 join round trip = (%d, v%d, %v)", samples, proto, err)
+	}
+	samples, proto, err = decodeJoin(encodeJoin(7, ProtoV1))
+	if err != nil || samples != 7 || proto != ProtoV1 {
+		t.Errorf("v1 join round trip = (%d, v%d, %v)", samples, proto, err)
+	}
+
+	// Welcome mirrors Join.
+	id, proto, err := decodeWelcome(encodeWelcome(3, ProtoV2))
+	if err != nil || id != 3 || proto != ProtoV2 {
+		t.Errorf("v2 welcome round trip = (%d, v%d, %v)", id, proto, err)
+	}
+	id, proto, err = decodeWelcome(encodeWelcome(3, ProtoV1))
+	if err != nil || id != 3 || proto != ProtoV1 {
+		t.Errorf("v1 welcome round trip = (%d, v%d, %v)", id, proto, err)
+	}
+
+	// Rejoin: 8-byte body is v1, 9-byte carries the version.
+	rid, samples, proto, err := decodeRejoin(encodeRejoinProto(4, 50, ProtoV2))
+	if err != nil || rid != 4 || samples != 50 || proto != ProtoV2 {
+		t.Errorf("v2 rejoin round trip = (%d, %d, v%d, %v)", rid, samples, proto, err)
+	}
+	rid, samples, proto, err = decodeRejoin(encodeRejoin(4, 50))
+	if err != nil || rid != 4 || samples != 50 || proto != ProtoV1 {
+		t.Errorf("v1 rejoin round trip = (%d, %d, v%d, %v)", rid, samples, proto, err)
+	}
+}
+
+func TestHandshakeDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"join-empty", func() error { _, _, err := decodeJoin(nil); return err }()},
+		{"join-3-bytes", func() error { _, _, err := decodeJoin([]byte{1, 2, 3}); return err }()},
+		{"join-6-bytes", func() error { _, _, err := decodeJoin([]byte{1, 2, 3, 4, 5, 6}); return err }()},
+		// A versioned body advertising v1 (or v0) is a contradiction: v1
+		// clients never send the version byte.
+		{"join-versioned-v1", func() error { _, _, err := decodeJoin([]byte{1, 0, 0, 0, 1}); return err }()},
+		{"join-versioned-v0", func() error { _, _, err := decodeJoin([]byte{1, 0, 0, 0, 0}); return err }()},
+		{"welcome-versioned-v1", func() error { _, _, err := decodeWelcome([]byte{1, 0, 0, 0, 1}); return err }()},
+		{"welcome-short", func() error { _, _, err := decodeWelcome([]byte{1}); return err }()},
+		{"rejoin-short", func() error { _, _, _, err := decodeRejoin([]byte{1, 2}); return err }()},
+		{"rejoin-versioned-v0", func() error {
+			_, _, _, err := decodeRejoin([]byte{0, 0, 0, 0, 1, 0, 0, 0, 0})
+			return err
+		}()},
+		{"rejoin-10-bytes", func() error {
+			_, _, _, err := decodeRejoin(make([]byte, 10))
+			return err
+		}()},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.err, ErrProtocol) {
+			t.Errorf("%s: err = %v, want ErrProtocol", tc.name, tc.err)
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	for _, tc := range []struct{ adv, want byte }{
+		{ProtoV1, ProtoV1},
+		{ProtoV2, ProtoV2},
+		{ProtoV2 + 1, ProtoV2}, // future client capped at what we speak
+		{255, ProtoV2},
+	} {
+		if got := negotiate(tc.adv); got != tc.want {
+			t.Errorf("negotiate(v%d) = v%d, want v%d", tc.adv, got, tc.want)
+		}
+	}
+}
+
+func TestTrainRequestV2RoundTrip(t *testing.T) {
+	m := ml.NewModel(3, 4, ml.Softmax)
+	m.W.Set(1, 2, -2.5)
+	m.B[0] = 0.75
+
+	// Full-model v2 request.
+	full := TrainRequest{Round: 6, Epochs: 3, LearningRate: 0.25, ReplyBits: ml.Quant8, BaseRound: 6}
+	buf := appendTrainRequestV2Header(nil, full)
+	buf = m.AppendBinary(buf)
+	back, body, err := decodeTrainRequestV2(buf)
+	if err != nil {
+		t.Fatalf("decode full v2: %v", err)
+	}
+	if back.Round != 6 || back.Epochs != 3 || back.LearningRate != 0.25 ||
+		back.ReplyBits != ml.Quant8 || back.DownBits != 0 || back.BaseRound != 6 {
+		t.Errorf("full v2 header lost: %+v", back)
+	}
+	var got ml.Model
+	if err := got.UnmarshalBinary(body); err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	if got.ParamDistance(m) != 0 {
+		t.Error("full v2 model lost in transit")
+	}
+
+	// Residual request against an earlier base round.
+	res := TrainRequest{Round: 6, Epochs: 3, LearningRate: 0.25, DownBits: ml.Quant8, BaseRound: 5}
+	buf2 := appendTrainRequestV2Header(nil, res)
+	buf2, err = ml.AppendQuantized(buf2, m, ml.Quant8)
+	if err != nil {
+		t.Fatalf("quantize: %v", err)
+	}
+	back2, body2, err := decodeTrainRequestV2(buf2)
+	if err != nil {
+		t.Fatalf("decode residual v2: %v", err)
+	}
+	if back2.DownBits != ml.Quant8 || back2.BaseRound != 5 {
+		t.Errorf("residual header lost: %+v", back2)
+	}
+	var resid ml.Model
+	if err := resid.DequantizeInto(body2); err != nil {
+		t.Fatalf("residual body: %v", err)
+	}
+	bound := ml.MaxQuantError(m, ml.Quant8) * 1.01
+	if d := resid.ParamDistance(m); d > bound*float64(m.ParamCount()) {
+		t.Errorf("residual reconstruction distance %v too large", d)
+	}
+}
+
+// TestDecodeTrainRequestV2Errors is the malformed-frame table: every corrupt
+// header shape a peer could send must produce a deterministic ErrProtocol.
+func TestDecodeTrainRequestV2Errors(t *testing.T) {
+	m := ml.NewModel(2, 2, ml.Softmax)
+	good := appendTrainRequestV2Header(nil, TrainRequest{Round: 3, BaseRound: 3, Epochs: 1, LearningRate: 0.1})
+	good = m.AppendBinary(good)
+
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mutate(b)
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"truncated-header", good[:trainReqV2HeaderLen-1]},
+		{"header-only-no-body", good[:trainReqV2HeaderLen]},
+		{"bad-reply-bits", corrupt(func(b []byte) []byte { b[16] = 12; return b })},
+		{"bad-down-bits", corrupt(func(b []byte) []byte { b[20] = 7; return b })},
+		{"reserved-nonzero", corrupt(func(b []byte) []byte { b[21] = 1; return b })},
+		// Full-model requests must self-describe: BaseRound == Round.
+		{"full-base-mismatch", corrupt(func(b []byte) []byte { b[22] = 99; return b })},
+		// Residual from the future: BaseRound > Round.
+		{"residual-future-base", corrupt(func(b []byte) []byte {
+			b[20] = byte(ml.Quant8)
+			b[22] = 9 // round is 3
+			return b
+		})},
+	}
+	for _, tc := range cases {
+		_, _, err := decodeTrainRequestV2(tc.payload)
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: err = %v, want ErrProtocol", tc.name, err)
+		}
+	}
+
+	// A truncated residual body passes the header but must fail the model
+	// decode on the edge (DequantizeInto), not panic.
+	res := appendTrainRequestV2Header(nil, TrainRequest{Round: 3, BaseRound: 2, DownBits: ml.Quant8, Epochs: 1, LearningRate: 0.1})
+	full, err := ml.AppendQuantized(res, m, ml.Quant8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := full[:len(full)-3]
+	if _, body, err := decodeTrainRequestV2(truncated); err == nil {
+		var scratch ml.Model
+		if err := scratch.DequantizeInto(body); err == nil {
+			t.Error("truncated residual body must fail to decode")
+		}
+	}
+}
+
+// TestEdgeRejectsProtocolMismatches drives the edge-side handshake guards: an
+// unknown pinned version fails fast, and a coordinator negotiating a version
+// higher than advertised is a protocol error.
+func TestEdgeRejectsProtocolMismatches(t *testing.T) {
+	cfg := dataset.QuickSyntheticConfig()
+	cfg.Samples = 20
+	d, err := dataset.Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+
+	if _, err := Dial(EdgeConfig{Addr: "127.0.0.1:1", Shard: d, Protocol: 7}); !errors.Is(err, ErrEdge) {
+		t.Errorf("unknown pinned protocol = %v, want ErrEdge", err)
+	}
+
+	// A (buggy or malicious) coordinator welcoming a v1 client at v2.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := expectFrame(conn, MsgJoin); err != nil {
+			return
+		}
+		_ = writeFrame(conn, MsgWelcome, encodeWelcome(0, ProtoV2))
+	}()
+	_, err = Dial(EdgeConfig{
+		Addr: ln.Addr().String(), Shard: d, Protocol: ProtoV1,
+		DialTimeout: 2 * time.Second,
+	})
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("negotiated above advertised = %v, want ErrProtocol", err)
+	}
+}
+
+// --- allocation pins ---------------------------------------------------------
+
+// TestWriteFrameAllocationFree pins the pooled frame path: steady-state
+// writeFrame (header + payload coalesced in a pooled buffer) and
+// readFrameInto with warm scratch must not touch the heap.
+func TestWriteFrameAllocationFree(t *testing.T) {
+	payload := make([]byte, 8192)
+	// Warm the pool so the measured runs reuse a buffer.
+	if err := writeFrame(io.Discard, MsgTrainRequest, payload); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := writeFrame(io.Discard, MsgTrainRequest, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0.1 {
+		t.Errorf("writeFrame allocates %.1f objects per frame, want 0", avg)
+	}
+
+	var wire bytes.Buffer
+	if err := writeFrame(&wire, MsgTrainRequest, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), wire.Bytes()...)
+	scratch := make([]byte, 0, len(frame))
+	r := bytes.NewReader(frame)
+	if avg := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		if _, _, err := readFrameInto(r, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0.1 {
+		t.Errorf("readFrameInto allocates %.1f objects per frame, want 0", avg)
+	}
+}
+
+// --- interop and bit-identity ------------------------------------------------
+
+// residualCluster spins up a coordinator with the given downlink codec plus
+// edges pinned at the given protocol versions, runs `rounds` rounds, and
+// returns the coordinator (still up; t.Cleanup shuts it down) and history.
+func residualCluster(t *testing.T, protos []byte, downBits ml.QuantBits, rounds int, stop fl.StopCondition) (*Coordinator, []fl.RoundRecord) {
+	t.Helper()
+	servers := len(protos)
+	dcfg := dataset.QuickSyntheticConfig()
+	dcfg.Samples = 400
+	train, test, err := dataset.SynthesizePair(dcfg, dcfg)
+	if err != nil {
+		t.Fatalf("SynthesizePair: %v", err)
+	}
+	shards, err := dataset.IIDPartitioner{Seed: 1}.Partition(train, servers)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		FL: fl.Config{
+			ClientsPerRound: servers, LocalEpochs: 3, LearningRate: 0.5, Decay: 0.99, Seed: 1,
+		},
+		Classes:           train.Classes,
+		Features:          train.Dim(),
+		RoundTimeout:      30 * time.Second,
+		JoinTimeout:       10 * time.Second,
+		DownloadQuantBits: downBits,
+	}, ln, test)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	t.Cleanup(coord.Shutdown)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	// Join strictly in shard order so slot ids — and with them selection and
+	// aggregation-sum order — are identical across clusters. Bit-identity
+	// comparisons between two independently started fleets need this; a
+	// racing join would only reorder floating-point sums.
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = RunEdgeServer(context.Background(), EdgeConfig{
+				Addr: coord.Addr().String(), Shard: shards[i], Seed: uint64(i + 1),
+				Protocol: protos[i],
+			})
+		}(i)
+		if err := coord.AwaitRoster(ctx, i+1, 30*time.Second); err != nil {
+			t.Fatalf("edge %d join: %v", i, err)
+		}
+	}
+	if err := coord.WaitForClients(ctx, servers); err != nil {
+		t.Fatalf("WaitForClients: %v", err)
+	}
+	if stop == nil {
+		stop = fl.MaxRounds(rounds)
+	}
+	history, err := coord.Run(ctx, stop)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wg.Wait()
+	return coord, history
+}
+
+// TestLosslessV2BitIdenticalToV1 pins the central compatibility promise: a
+// lossless v2 run (version-negotiated handshake, v2 request framing, full
+// model body) trains bit-identical weights to the seed v1 protocol, at
+// several fleet sizes including GOMAXPROCS.
+func TestLosslessV2BitIdenticalToV1(t *testing.T) {
+	sizes := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 1 && p != 2 && p != 4 {
+		sizes = append(sizes, p)
+	}
+	for _, servers := range sizes {
+		v1 := make([]byte, servers)
+		v2 := make([]byte, servers)
+		for i := range v1 {
+			v1[i], v2[i] = ProtoV1, ProtoV2
+		}
+		coordV1, histV1 := residualCluster(t, v1, 0, 3, nil)
+		coordV2, histV2 := residualCluster(t, v2, 0, 3, nil)
+		if d := coordV1.Global().ParamDistance(coordV2.Global()); d != 0 {
+			t.Errorf("servers=%d: lossless v2 diverged from v1 by %v, want bit-identical", servers, d)
+		}
+		for r := range histV1 {
+			if histV1[r].TrainLoss != histV2[r].TrainLoss || histV1[r].TestAccuracy != histV2[r].TestAccuracy {
+				t.Errorf("servers=%d round %d: v1 (loss %v acc %v) vs v2 (loss %v acc %v)",
+					servers, r, histV1[r].TrainLoss, histV1[r].TestAccuracy,
+					histV2[r].TrainLoss, histV2[r].TestAccuracy)
+			}
+		}
+	}
+}
+
+// TestMixedProtocolInterop runs one fleet with v1 and v2 edges side by side
+// under a quantized downlink: v2 edges receive residuals, v1 edges full
+// models, and the round still aggregates and converges.
+func TestMixedProtocolInterop(t *testing.T) {
+	_, history := residualCluster(t, []byte{ProtoV1, ProtoV2, ProtoV1, ProtoV2}, ml.Quant8, 6, nil)
+	if len(history) != 6 {
+		t.Fatalf("got %d rounds, want 6", len(history))
+	}
+	first, last := history[0], history[len(history)-1]
+	if last.TrainLoss >= first.TrainLoss {
+		t.Errorf("mixed-fleet loss did not fall: %v -> %v", first.TrainLoss, last.TrainLoss)
+	}
+	if last.TestAccuracy < 0.5 {
+		t.Errorf("mixed-fleet accuracy = %v after 6 rounds", last.TestAccuracy)
+	}
+	for r, rec := range history {
+		if rec.DownlinkBytes <= 0 || rec.UplinkBytes <= 0 {
+			t.Errorf("round %d: bytes not counted: down %d up %d", r, rec.DownlinkBytes, rec.UplinkBytes)
+		}
+	}
+}
+
+// TestResidualDownlinkShrinksBytesAndConverges is the headline acceptance
+// test: an 8-bit residual downlink cuts warm-round downlink bytes at least
+// 4x against the lossless run, while still training to 0.9 test accuracy.
+func TestResidualDownlinkShrinksBytesAndConverges(t *testing.T) {
+	const servers = 4
+	protos := []byte{ProtoV2, ProtoV2, ProtoV2, ProtoV2}
+	stop := func(h []fl.RoundRecord) bool {
+		return fl.TargetAccuracy(0.9)(h) || fl.MaxRounds(60)(h)
+	}
+	_, full := residualCluster(t, protos, 0, 0, stop)
+	_, quant := residualCluster(t, protos, ml.Quant8, 0, stop)
+
+	if acc := quant[len(quant)-1].TestAccuracy; acc < 0.9 {
+		t.Errorf("quantized downlink final accuracy = %v, want >= 0.9 within %d rounds", acc, len(quant))
+	}
+	if len(full) < 2 || len(quant) < 2 {
+		t.Fatalf("need at least 2 rounds, got full=%d quant=%d", len(full), len(quant))
+	}
+	// Round 0 is always a full broadcast (no base yet); warm rounds carry
+	// residuals. Compare per-round downlink volume from round 1 on.
+	fullPerRound := full[1].DownlinkBytes
+	quantPerRound := quant[1].DownlinkBytes
+	if quantPerRound*4 > fullPerRound {
+		t.Errorf("warm-round downlink %dB (quantized) vs %dB (full) — want >= 4x reduction",
+			quantPerRound, fullPerRound)
+	}
+	// Round 0 must match: both runs broadcast the full model.
+	if quant[0].DownlinkBytes != full[0].DownlinkBytes {
+		t.Errorf("cold-round downlink differs: %dB vs %dB", quant[0].DownlinkBytes, full[0].DownlinkBytes)
+	}
+}
+
+// TestResidualSurvivesRejoin forces a mid-run reconnect under a quantized
+// downlink: the rejoined connection must fall back to a full broadcast (its
+// residual base is gone) and training must continue unperturbed.
+func TestResidualSurvivesRejoin(t *testing.T) {
+	dcfg := dataset.QuickSyntheticConfig()
+	dcfg.Samples = 300
+	train, test, err := dataset.SynthesizePair(dcfg, dcfg)
+	if err != nil {
+		t.Fatalf("SynthesizePair: %v", err)
+	}
+	shards, err := dataset.IIDPartitioner{Seed: 1}.Partition(train, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		FL: fl.Config{
+			ClientsPerRound: 2, LocalEpochs: 2, LearningRate: 0.3, Decay: 0.99, Seed: 1,
+		},
+		Classes:           train.Classes,
+		Features:          train.Dim(),
+		RoundTimeout:      30 * time.Second,
+		JoinTimeout:       10 * time.Second,
+		RejoinGrace:       10 * time.Second,
+		DownloadQuantBits: ml.Quant8,
+	}, ln, test)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Shutdown()
+
+	edgeCtx, stopEdges := context.WithCancel(context.Background())
+	defer stopEdges()
+	runEdge := func(i int) {
+		_ = RunEdgeServer(edgeCtx, EdgeConfig{
+			Addr: coord.Addr().String(), Shard: shards[i], Seed: uint64(i + 1),
+			Retry: RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2},
+		})
+	}
+	go runEdge(0)
+	go runEdge(1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := coord.WaitForClients(ctx, 2); err != nil {
+		t.Fatalf("WaitForClients: %v", err)
+	}
+	// Two rounds to establish residual state on both clients.
+	for i := 0; i < 2; i++ {
+		if _, err := coord.Round(ctx); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	// Kill client 0's connection between rounds; its retry loop rejoins.
+	coord.mu.Lock()
+	conn0 := coord.clients[0].conn
+	coord.mu.Unlock()
+	conn0.Close()
+	if err := coord.AwaitRoster(ctx, 2, 10*time.Second); err != nil {
+		t.Fatalf("AwaitRoster after kill: %v", err)
+	}
+	// The next rounds must succeed: round 3 re-sends the full model to the
+	// rejoined client, later rounds go back to residuals.
+	var recs []fl.RoundRecord
+	for i := 0; i < 3; i++ {
+		rec, err := coord.Round(ctx)
+		if err != nil {
+			t.Fatalf("post-rejoin round %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	// Final round should be back on residuals for both clients: strictly
+	// fewer downlink bytes than the post-rejoin round that carried one full
+	// model.
+	if recs[2].DownlinkBytes >= recs[0].DownlinkBytes {
+		t.Errorf("residuals did not resume after rejoin: %dB then %dB",
+			recs[0].DownlinkBytes, recs[2].DownlinkBytes)
+	}
+}

@@ -1,0 +1,43 @@
+package flnet
+
+import "sync/atomic"
+
+// WireCounters accumulates frame-level byte counts — every frame written to
+// (TX) or read from (RX) the wire, 5-byte frame headers included. The
+// counters are what the bytes→joules radio model prices, replacing the
+// analytic time model's estimate of transfer volume with the measured
+// truth. Safe for concurrent use; the zero value is ready. All methods
+// tolerate a nil receiver so uninstrumented paths stay branch-free.
+type WireCounters struct {
+	tx, rx atomic.Int64
+}
+
+// AddTx records n bytes written to the wire.
+func (w *WireCounters) AddTx(n int) {
+	if w != nil {
+		w.tx.Add(int64(n))
+	}
+}
+
+// AddRx records n bytes read from the wire.
+func (w *WireCounters) AddRx(n int) {
+	if w != nil {
+		w.rx.Add(int64(n))
+	}
+}
+
+// Tx returns the total bytes written.
+func (w *WireCounters) Tx() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.tx.Load()
+}
+
+// Rx returns the total bytes read.
+func (w *WireCounters) Rx() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.rx.Load()
+}

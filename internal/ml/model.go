@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"eefei/internal/dataset"
 	"eefei/internal/mat"
@@ -297,11 +298,83 @@ func ReadModel(r io.Reader) (*Model, error) {
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (m *Model) MarshalBinary() ([]byte, error) {
-	var buf byteSliceWriter
-	if _, err := m.WriteTo(&buf); err != nil {
-		return nil, err
+	return m.AppendBinary(make([]byte, 0, m.EncodedSize())), nil
+}
+
+// EncodedSize returns the exact byte length of the model's binary
+// serialization: magic + header + parameters.
+func (m *Model) EncodedSize() int {
+	return 4 + 12 + m.ParamCount()*8
+}
+
+// AppendBinary appends the model's serialization to dst and returns the
+// extended slice, byte-identical to MarshalBinary/WriteTo. It is the
+// zero-copy encode path: the network layer appends directly into a pooled
+// frame buffer instead of marshalling into an intermediate slice.
+func (m *Model) AppendBinary(dst []byte) []byte {
+	dst = slices.Grow(dst, m.EncodedSize())
+	dst = append(dst, modelMagic[:]...)
+	var h [12]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(m.Act))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(m.Classes()))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(m.Features()))
+	dst = append(dst, h[:]...)
+	dst = appendFloat64s(dst, m.W.RawData())
+	dst = appendFloat64s(dst, m.B)
+	return dst
+}
+
+// appendFloat64s appends the little-endian IEEE-754 encoding of vals.
+func appendFloat64s(dst []byte, vals []float64) []byte {
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
 	}
-	return buf, nil
+	return dst
+}
+
+// UnmarshalBinaryReuse decodes data into m like UnmarshalBinary, but reuses
+// m's existing parameter storage when the encoded shape matches — the decode
+// path engines call round after round with a long-lived scratch model, so
+// steady-state decoding allocates nothing. On a shape change it falls back
+// to a fresh allocation.
+func (m *Model) UnmarshalBinaryReuse(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("ml: model payload of %d bytes", len(data))
+	}
+	var magic [4]byte
+	copy(magic[:], data[:4])
+	if magic != modelMagic {
+		return fmt.Errorf("ml: bad model magic %x", magic)
+	}
+	act := Activation(binary.LittleEndian.Uint32(data[4:8]))
+	classes := int(binary.LittleEndian.Uint32(data[8:12]))
+	features := int(binary.LittleEndian.Uint32(data[12:16]))
+	const maxParams = 1 << 26
+	if classes <= 0 || features <= 0 || classes > maxParams || features > maxParams ||
+		classes*features > maxParams {
+		return fmt.Errorf("ml: implausible model shape %dx%d", classes, features)
+	}
+	params := classes*features + classes
+	if len(data) != 16+params*8 {
+		return fmt.Errorf("ml: model payload %d bytes, want %d", len(data), 16+params*8)
+	}
+	if m.W == nil || m.W.Rows() != classes || m.W.Cols() != features || len(m.B) != classes {
+		fresh := NewModel(classes, features, act)
+		m.W, m.B = fresh.W, fresh.B
+	}
+	m.Act = act
+	readFloat64s(m.W.RawData(), data[16:])
+	readFloat64s(m.B, data[16+classes*features*8:])
+	return nil
+}
+
+// readFloat64s fills dst from the little-endian encoding at the head of data.
+func readFloat64s(dst []float64, data []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
@@ -312,13 +385,6 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 	}
 	*m = *got
 	return nil
-}
-
-type byteSliceWriter []byte
-
-func (w *byteSliceWriter) Write(p []byte) (int, error) {
-	*w = append(*w, p...)
-	return len(p), nil
 }
 
 type byteSliceReader struct {

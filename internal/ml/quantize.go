@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Model-upload energy is proportional to bytes on the air (Section IV),
@@ -36,18 +37,25 @@ var quantMagic = [4]byte{'E', 'F', 'Q', 1}
 // the linearly quantized values. Decoding with DequantizeModel yields a
 // model whose per-parameter error is at most MaxQuantError(m, bits).
 func QuantizeModel(m *Model, bits QuantBits) ([]byte, error) {
+	return AppendQuantized(nil, m, bits)
+}
+
+// AppendQuantized appends the quantized encoding of m to dst and returns the
+// extended slice — byte-identical to QuantizeModel's output, but writing
+// directly into a caller-owned (e.g. pooled frame) buffer.
+func AppendQuantized(dst []byte, m *Model, bits QuantBits) ([]byte, error) {
 	if bits != Quant8 && bits != Quant16 {
 		return nil, fmt.Errorf("width %d bits: %w", bits, ErrQuantize)
 	}
 	w := m.W.RawData()
-	out := make([]byte, 0, 4+16+16+(len(w)+len(m.B))*int(bits)/8)
+	out := slices.Grow(dst, QuantizedSize(m.Classes(), m.Features(), bits))
 	out = append(out, quantMagic[:]...)
-	header := make([]byte, 16)
+	var header [16]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(m.Act))
 	binary.LittleEndian.PutUint32(header[4:8], uint32(m.Classes()))
 	binary.LittleEndian.PutUint32(header[8:12], uint32(m.Features()))
 	binary.LittleEndian.PutUint32(header[12:16], uint32(bits))
-	out = append(out, header...)
+	out = append(out, header[:]...)
 
 	var err error
 	out, err = appendQuantTensor(out, w, bits)
@@ -98,40 +106,56 @@ func appendQuantTensor(dst []byte, vals []float64, bits QuantBits) ([]byte, erro
 
 // DequantizeModel decodes a payload produced by QuantizeModel.
 func DequantizeModel(data []byte) (*Model, error) {
+	var m Model
+	if err := m.DequantizeInto(data); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// DequantizeInto decodes a payload produced by QuantizeModel into m, reusing
+// m's existing parameter storage when the encoded shape matches. Like
+// Model.UnmarshalBinaryReuse it is the steady-state decode path: a long-lived
+// scratch model makes repeated dequantization allocation-free.
+func (m *Model) DequantizeInto(data []byte) error {
 	if len(data) < 20 {
-		return nil, fmt.Errorf("payload of %d bytes: %w", len(data), ErrQuantize)
+		return fmt.Errorf("payload of %d bytes: %w", len(data), ErrQuantize)
 	}
 	if data[0] != quantMagic[0] || data[1] != quantMagic[1] ||
 		data[2] != quantMagic[2] || data[3] != quantMagic[3] {
-		return nil, fmt.Errorf("bad magic: %w", ErrQuantize)
+		return fmt.Errorf("bad magic: %w", ErrQuantize)
 	}
 	act := Activation(binary.LittleEndian.Uint32(data[4:8]))
 	classes := int(binary.LittleEndian.Uint32(data[8:12]))
 	features := int(binary.LittleEndian.Uint32(data[12:16]))
 	bits := QuantBits(binary.LittleEndian.Uint32(data[16:20]))
 	if bits != Quant8 && bits != Quant16 {
-		return nil, fmt.Errorf("width %d bits: %w", bits, ErrQuantize)
+		return fmt.Errorf("width %d bits: %w", bits, ErrQuantize)
 	}
 	const maxParams = 1 << 26
 	if classes <= 0 || features <= 0 || classes > maxParams || features > maxParams ||
 		classes*features > maxParams {
-		return nil, fmt.Errorf("implausible shape %dx%d: %w", classes, features, ErrQuantize)
+		return fmt.Errorf("implausible shape %dx%d: %w", classes, features, ErrQuantize)
 	}
-	m := NewModel(classes, features, act)
+	if m.W == nil || m.W.Rows() != classes || m.W.Cols() != features || len(m.B) != classes {
+		fresh := NewModel(classes, features, act)
+		m.W, m.B = fresh.W, fresh.B
+	}
+	m.Act = act
 	rest := data[20:]
 	var err error
 	rest, err = readQuantTensor(rest, m.W.RawData(), bits)
 	if err != nil {
-		return nil, fmt.Errorf("weights: %w", err)
+		return fmt.Errorf("weights: %w", err)
 	}
 	rest, err = readQuantTensor(rest, m.B, bits)
 	if err != nil {
-		return nil, fmt.Errorf("biases: %w", err)
+		return fmt.Errorf("biases: %w", err)
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("%d trailing bytes: %w", len(rest), ErrQuantize)
+		return fmt.Errorf("%d trailing bytes: %w", len(rest), ErrQuantize)
 	}
-	return m, nil
+	return nil
 }
 
 func readQuantTensor(data []byte, dst []float64, bits QuantBits) ([]byte, error) {

@@ -5,7 +5,9 @@
 # Packages covered: the root package (paper figure/table pins, including the
 # flnet fault-injection round), internal/fl (FedAvg round, async step, global
 # loss), internal/ml (evaluator + SGD epochs), internal/mat (GEMM, matvec,
-# RNG), and internal/energy (calibrator observe).
+# RNG), internal/energy (calibrator observe), and internal/flnet (the pooled
+# networked round over loopback TCP plus the downlink encode paths — the
+# allocs/op and B/op pins behind the zero-copy wire protocol).
 #
 # The suite runs in two passes with different iteration counts:
 #
@@ -46,14 +48,16 @@ GATED='^Benchmark(Mat|SGD|Model|Trace|Golden|FedAvg|Quantize|Straggler|Sensitivi
 if [ -n "${BENCH_FILTER:-}" ]; then
     echo "bench: single pass, -bench='${BENCH_FILTER}' -benchtime=${TIME} ..." >&2
     go test -run='^$' -bench="$BENCH_FILTER" -benchmem -benchtime="$TIME" \
-        . ./internal/fl ./internal/ml ./internal/mat ./internal/energy | tee "$RAW" >&2
+        . ./internal/fl ./internal/ml ./internal/mat ./internal/energy \
+        ./internal/flnet | tee "$RAW" >&2
 else
     echo "bench: harness pass -benchtime=${HARNESS_TIME}, gated pass -benchtime=${TIME} ..." >&2
     {
         go test -run='^$' -bench="$HARNESS" -benchmem -benchtime="$HARNESS_TIME" .
         go test -run='^$' -bench="$GATED" -benchmem -benchtime="$TIME" .
         go test -run='^$' -bench=. -benchmem -benchtime="$TIME" \
-            ./internal/fl ./internal/ml ./internal/mat ./internal/energy
+            ./internal/fl ./internal/ml ./internal/mat ./internal/energy \
+            ./internal/flnet
     } | tee "$RAW" >&2
 fi
 

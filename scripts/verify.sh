@@ -47,6 +47,18 @@ echo "== sweep golden/resume/bit-identity (race detector, explicit) =="
 go test -race -run 'Sweep|Frontier|ParseScale|ScaleString|TestSplitSamples' ./internal/experiments ./cmd/experiments
 go test -race -run 'SynthesizeParallel|SynthesizePairParallel' ./internal/dataset
 
+echo "== wire protocol v2 interop/residual (race detector, explicit) =="
+# The pooled v2 wire path's contracts pinned under -race even if the full
+# -race sweep above is ever narrowed: lossless v2 bit-identical to the
+# seed protocol at fleet sizes {1,2,4,GOMAXPROCS}, mixed v1/v2 fleets
+# training in one cluster, the error-feedback residual downlink shrinking
+# bytes ≥4× at Quant8 while still converging, rejoin resetting to a full
+# send then resuming residuals, the v2 handshake/header decode error
+# tables, and the 0 allocs/op frame read/write pin. The byte→joules radio
+# pricing rides with the Calibrator section below.
+go test -race -run 'LosslessV2|MixedProtocol|Residual|TrainRequestV2|Handshake|Negotiate|WriteFrameAllocationFree' ./internal/flnet
+go test -race -run 'RadioModel|RadioPricing' ./internal/energy
+
 echo "== calibration round-trip (race detector, explicit) =="
 # The trace→energy loop under -race: the Calibrator observer accumulating a
 # measured ledger live (closed-loop refit onto DefaultPiTimeModel, replay
@@ -95,7 +107,11 @@ echo "== bench regression gate =="
 # scheduler's occasional cold goroutine spawn, so allocs/op is exactly
 # reproducible and tier 2 catches real regressions. That includes the
 # async hot path: BenchmarkAsyncStep/eval=1 is pinned at 0 allocs/op (the
-# engine-side contract behind TestAsyncStepAllocationFree). Experiment-harness
+# engine-side contract behind TestAsyncStepAllocationFree), and the pooled
+# wire path: BenchmarkRoundWire's allocs/op and B/op are the zero-copy
+# protocol's pins (full K=10 loopback round; warm round before the timer
+# makes the count exact), with BenchmarkEncodeResidual pinned at 0
+# allocs/op. Experiment-harness
 # benchmarks (root Figure*/Ablation*/Table*) run a whole multi-round sweep
 # per op and their allocs/op genuinely jitters — they are not re-measured
 # here and -skip exempts them from the coverage rule; the 1x smoke run
@@ -108,7 +124,8 @@ trap 'rm -f "$FRESH"' EXIT
 {
     go test -run='^$' -bench="$GATED" -benchmem -benchtime=25x .
     go test -run='^$' -bench=. -benchmem -benchtime=25x \
-        ./internal/fl ./internal/ml ./internal/mat ./internal/energy
+        ./internal/fl ./internal/ml ./internal/mat ./internal/energy \
+        ./internal/flnet
 } | go run ./cmd/benchfmt -date regression-gate >"$FRESH"
 if ! go run ./cmd/benchfmt -diff "$BASELINE" "$FRESH" \
         -tol "${BENCH_TOL:-15}" -min-ns 100000 -skip "$SKIP"; then
