@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"eefei/internal/dataset"
@@ -11,8 +12,9 @@ import (
 
 // runEdgeForTest stands in for a fededge process during the command-level
 // cluster test: the same data derivation cmd/fededge performs, with the
-// test's fixed parameters.
-func runEdgeForTest(addr string, id, of int) error {
+// test's fixed parameters. A non-nil dial swaps the transport (the dgram
+// cluster test passes an fldgram dialer, matching fededge -transport dgram).
+func runEdgeForTest(addr string, id, of int, dial func(string, time.Duration) (net.Conn, error)) error {
 	train, err := dataset.Synthesize(dataset.SyntheticConfig{
 		Samples: 200, Classes: 10, Side: 8, Noise: 0.3, BlobsPerClass: 3, Seed: 1,
 	})
@@ -31,6 +33,7 @@ func runEdgeForTest(addr string, id, of int) error {
 			Shard:       shards[id],
 			Seed:        uint64(id + 1),
 			DialTimeout: time.Second,
+			Dial:        dial,
 		})
 		if err == nil || time.Now().After(deadline) {
 			return err

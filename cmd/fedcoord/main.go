@@ -4,10 +4,18 @@
 // prototype.
 //
 //	fedcoord -listen :7070 -servers 5 -k 3 -e 10 -rounds 20
+//	fedcoord -transport dgram -loss 0.1 -listen 127.0.0.1:7070 ...
 //
 // The coordinator holds the held-out test set (synthetic, same seed the
 // edges use to shard), prints per-round loss/accuracy, and shuts the fleet
 // down when training completes.
+//
+// With -transport dgram it listens on a UDP socket and speaks the fldgram
+// stop-and-wait ARQ instead of TCP; -mtu bounds the datagram size, and
+// -loss (or equivalently -success-prob) injects seeded per-attempt packet
+// loss so retransmission energy is measurable on a loopback bench. Round
+// lines then also report attempted vs delivered bytes — the measured 1/p of
+// the paper's Eq. 4.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"eefei/internal/dataset"
 	"eefei/internal/energy"
 	"eefei/internal/fl"
+	"eefei/internal/fldgram"
 	"eefei/internal/flnet"
 	"eefei/internal/ml"
 )
@@ -64,12 +73,21 @@ func run(args []string) error {
 		upBits       = fs.Int("up-bits", 0, "quantize client replies to this many bits per weight (0 = lossless float64, 8 or 16)")
 		downBits     = fs.Int("down-bits", 0, "quantize the broadcast global as a residual with this many bits per weight (0 = lossless full model, 8 or 16; needs v2 edges)")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+
+		transport   = fs.String("transport", "stream", "wire transport: stream (TCP) or dgram (UDP + stop-and-wait ARQ)")
+		mtu         = fs.Int("mtu", fldgram.DefaultMTU, "dgram only: maximum datagram size in bytes")
+		loss        = fs.Float64("loss", 0, "dgram only: injected per-attempt data-packet loss probability in [0,1)")
+		successProb = fs.Float64("success-prob", 0, "dgram only: per-attempt delivery probability p in (0,1]; alternative to -loss (p = 1-loss)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceMem && *trace == "" {
 		return fmt.Errorf("-trace-mem requires -trace")
+	}
+	p, err := fldgram.ResolveSuccessProb(*transport, *loss, *successProb)
+	if err != nil {
+		return err
 	}
 	if *pprofAddr != "" {
 		// Profiling endpoint for the wire-path benchmarks: `go tool pprof
@@ -106,10 +124,20 @@ func run(args []string) error {
 		Multiplier:  2,
 		JitterFrac:  0.2,
 	}
+	listenOnce := func() (net.Listener, error) {
+		if *transport == "dgram" {
+			dl, err := fldgram.Listen(*listen, fldgram.Config{MTU: *mtu, Seed: *seed, SuccessProb: p})
+			if err != nil {
+				return nil, err
+			}
+			return dl, nil
+		}
+		return net.Listen("tcp", *listen)
+	}
 	var ln net.Listener
 	for attempt := 0; ; attempt++ {
 		var err error
-		ln, err = net.Listen("tcp", *listen)
+		ln, err = listenOnce()
 		if err == nil {
 			break
 		}
@@ -205,6 +233,10 @@ func run(args []string) error {
 			rec.Round, rec.Selected, rec.LearningRate, rec.TrainLoss, rec.TestAccuracy)
 		if rec.DownlinkBytes > 0 || rec.UplinkBytes > 0 {
 			line += fmt.Sprintf("  down %dB  up %dB", rec.DownlinkBytes, rec.UplinkBytes)
+		}
+		if del := rec.DownlinkDeliveredBytes + rec.UplinkDeliveredBytes; del > 0 {
+			att := rec.DownlinkAttemptBytes + rec.UplinkAttemptBytes
+			line += fmt.Sprintf("  wire %dB/%dB (1/p̂ %.3f)", att, del, float64(att)/float64(del))
 		}
 		if len(rec.Dropped) > 0 || rec.Rejoins > 0 || rec.Retries > 0 {
 			line += fmt.Sprintf("  dropped %v  rejoins %d  retries %d",

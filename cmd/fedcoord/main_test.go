@@ -1,9 +1,13 @@
 package main
 
 import (
+	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"eefei/internal/fldgram"
 )
 
 func TestRunBadFlag(t *testing.T) {
@@ -45,7 +49,7 @@ func TestFullClusterViaCommands(t *testing.T) {
 		edgeWg.Add(1)
 		go func(i int) {
 			defer edgeWg.Done()
-			edgeErrs[i] = runEdgeForTest(addr, i, 2)
+			edgeErrs[i] = runEdgeForTest(addr, i, 2, nil)
 		}(i)
 	}
 	edgeWg.Wait()
@@ -60,6 +64,70 @@ func TestFullClusterViaCommands(t *testing.T) {
 	for i, err := range edgeErrs {
 		if err != nil {
 			t.Errorf("edge %d: %v", i, err)
+		}
+	}
+}
+
+// TestDgramClusterViaCommands drives the lossy deployment path end to end:
+// fedcoord -transport dgram -loss 0.1 on a loopback UDP socket, with both
+// edges dialing through fldgram the way fededge -transport dgram does. The
+// ARQ must repair every injected loss so training completes exactly as over
+// TCP.
+func TestDgramClusterViaCommands(t *testing.T) {
+	const addr = "127.0.0.1:39623"
+	var wg sync.WaitGroup
+	var coordErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		coordErr = run([]string{
+			"-transport", "dgram", "-loss", "0.1",
+			"-listen", addr, "-servers", "2", "-k", "2", "-e", "2",
+			"-rounds", "2", "-samples", "200",
+		})
+	}()
+
+	var edgeWg sync.WaitGroup
+	edgeErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		dial, err := fldgram.Dialer(fldgram.Config{Seed: uint64(i + 1), SuccessProb: 0.9})
+		if err != nil {
+			t.Fatalf("Dialer: %v", err)
+		}
+		edgeWg.Add(1)
+		go func(i int, dial func(string, time.Duration) (net.Conn, error)) {
+			defer edgeWg.Done()
+			edgeErrs[i] = runEdgeForTest(addr, i, 2, dial)
+		}(i, dial)
+	}
+	edgeWg.Wait()
+	wg.Wait()
+
+	if coordErr != nil {
+		if strings.Contains(coordErr.Error(), "address already in use") {
+			t.Skipf("port busy: %v", coordErr)
+		}
+		t.Fatalf("fedcoord run (dgram): %v", coordErr)
+	}
+	for i, err := range edgeErrs {
+		if err != nil {
+			t.Errorf("edge %d: %v", i, err)
+		}
+	}
+}
+
+// TestTransportFlagRejections covers the CLI knob contract shared with
+// fededge via fldgram.ResolveSuccessProb.
+func TestTransportFlagRejections(t *testing.T) {
+	for _, args := range [][]string{
+		{"-transport", "carrier-pigeon"},
+		{"-loss", "0.5"},                                                // stream transport
+		{"-transport", "dgram", "-loss", "1.0"},                         // loss must be < 1
+		{"-transport", "dgram", "-success-prob", "1.5"},                 // p must be <= 1
+		{"-transport", "dgram", "-loss", "0.1", "-success-prob", "0.9"}, // contradictory
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v must be rejected", args)
 		}
 	}
 }

@@ -5,10 +5,15 @@
 //
 //	fededge -coordinator 127.0.0.1:7070 -id 0 -of 5
 //	fededge -coordinator 10.0.0.2:7070 -id 3 -of 20 -mnist-images ... -mnist-labels ...
+//	fededge -transport dgram -loss 0.1 -coordinator 127.0.0.1:7070 -id 0 -of 5
 //
 // All edges of one experiment must share -of, -samples, -side and -seed so
 // their shards partition the same synthetic universe the coordinator's test
-// set is drawn from.
+// set is drawn from. With -transport dgram the edge dials the coordinator's
+// UDP socket and speaks the fldgram stop-and-wait ARQ; -mtu, -loss and
+// -success-prob mirror the coordinator's knobs, and at exit the edge prints
+// its uplink attempted-vs-delivered bytes plus the measured expected energy
+// per delivered byte against the analytic ρ/p of the paper's Eq. 4.
 package main
 
 import (
@@ -21,7 +26,9 @@ import (
 	"time"
 
 	"eefei/internal/dataset"
+	"eefei/internal/fldgram"
 	"eefei/internal/flnet"
+	"eefei/internal/iot"
 )
 
 func main() {
@@ -47,6 +54,11 @@ func run(args []string) error {
 		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "initial reconnect backoff")
 		retryMax    = fs.Duration("retry-max", 2*time.Second, "reconnect backoff cap")
 		protocol    = fs.Int("protocol", 0, "wire protocol version to advertise (0 = newest; 1 pins the seed protocol for pre-v2 coordinators)")
+
+		transport   = fs.String("transport", "stream", "wire transport: stream (TCP) or dgram (UDP + stop-and-wait ARQ)")
+		mtu         = fs.Int("mtu", fldgram.DefaultMTU, "dgram only: maximum datagram size in bytes")
+		loss        = fs.Float64("loss", 0, "dgram only: injected per-attempt data-packet loss probability in [0,1)")
+		successProb = fs.Float64("success-prob", 0, "dgram only: per-attempt delivery probability p in (0,1]; alternative to -loss (p = 1-loss)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,9 +66,12 @@ func run(args []string) error {
 	if *id < 0 || *id >= *of {
 		return fmt.Errorf("id %d outside fleet of %d", *id, *of)
 	}
+	p, err := fldgram.ResolveSuccessProb(*transport, *loss, *successProb)
+	if err != nil {
+		return err
+	}
 
 	var train *dataset.Dataset
-	var err error
 	if *imagesPath != "" && *labelsPath != "" {
 		train, err = dataset.LoadMNIST(*imagesPath, *labelsPath)
 		if err != nil {
@@ -93,7 +108,7 @@ func run(args []string) error {
 	// transferred, printed at exit so a bench run can compare protocol
 	// versions and downlink codecs byte for byte.
 	var wire flnet.WireCounters
-	err = flnet.RunEdgeServer(ctx, flnet.EdgeConfig{
+	ecfg := flnet.EdgeConfig{
 		Addr:      *coordinator,
 		Shard:     shard,
 		BatchSize: *batch,
@@ -107,9 +122,35 @@ func run(args []string) error {
 			Multiplier:  2,
 			JitterFrac:  0.2,
 		},
-	})
+	}
+	var meter *fldgram.Meter
+	if *transport == "dgram" {
+		meter = &fldgram.Meter{}
+		dial, err := fldgram.Dialer(fldgram.Config{
+			MTU:         *mtu,
+			Seed:        *seed + uint64(*id)*65537,
+			SuccessProb: p,
+			Meter:       meter,
+		})
+		if err != nil {
+			return err
+		}
+		ecfg.Dial = dial
+	}
+	err = flnet.RunEdgeServer(ctx, ecfg)
 	fmt.Printf("fededge %d/%d: wire bytes rx %d (downlink) tx %d (uplink)\n",
 		*id, *of, wire.Rx(), wire.Tx())
+	if meter != nil {
+		attempts, attemptBytes, delivered, deliveredBytes := meter.Totals()
+		fmt.Printf("fededge %d/%d: dgram uplink %d/%d packets, %dB/%dB attempted/delivered\n",
+			*id, *of, attempts, delivered, attemptBytes, deliveredBytes)
+		if deliveredBytes > 0 {
+			rho := iot.NBIoTJoulesPerByte
+			measured := rho * float64(attemptBytes) / float64(deliveredBytes)
+			fmt.Printf("fededge %d/%d: energy per delivered byte: measured %.6g J (ρ·attempted/delivered) vs analytic ρ/p %.6g J at p=%.4f\n",
+				*id, *of, measured, rho/p, p)
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,11 @@
 // round's phase durations are replayed through an energy.Calibrator, pricing
 // them with the canonical Raspberry Pi power model (paper Table I), so a
 // persisted trace answers "how many joules did each phase cost" offline.
+// Traces from a datagram run (cmd/fedcoord -transport dgram) additionally
+// carry attempted-vs-delivered byte counters; -energy then reports the
+// measured expected energy per delivered byte, ρ·attempted/delivered at the
+// paper's NB-IoT ρ, next to the analytic ρ/p of Eq. 4 when -success-prob
+// supplies the configured per-attempt delivery probability.
 //
 // With no argument the trace is read from stdin. Records are one JSON object
 // per line; blank lines are skipped, anything else malformed is a hard error
@@ -31,6 +36,7 @@ import (
 
 	"eefei/internal/energy"
 	"eefei/internal/fl"
+	"eefei/internal/iot"
 )
 
 func main() {
@@ -54,8 +60,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	withEnergy := fs.Bool("energy", false,
 		"append a measured per-phase energy table (canonical Pi power model)")
+	successProb := fs.Float64("success-prob", 0,
+		"configured per-attempt delivery probability p of a datagram trace; "+
+			"with -energy, prints the analytic ρ/p next to the measured energy per delivered byte")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *successProb < 0 || *successProb > 1 {
+		fs.Usage()
+		return fmt.Errorf("-success-prob %v outside [0,1]: %w", *successProb, flag.ErrHelp)
 	}
 	var in io.Reader = stdin
 	name := "<stdin>"
@@ -72,7 +85,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return flag.ErrHelp
 	}
-	if err := report(stdout, in, *withEnergy); err != nil {
+	if err := report(stdout, in, *withEnergy, *successProb); err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
 	return nil
@@ -86,14 +99,16 @@ var phaseNames = []string{"select", "train", "aggregate", "evaluate", "other"}
 
 // report decodes a JSONL round trace from r and writes the phase-share
 // summary — plus, when withEnergy is set, the measured energy table — to w.
-func report(w io.Writer, r io.Reader, withEnergy bool) error {
+// successProb, when > 0, is the configured per-attempt delivery probability
+// used for the analytic ρ/p comparison of a datagram trace.
+func report(w io.Writer, r io.Reader, withEnergy bool, successProb float64) error {
 	stats, err := readTrace(r)
 	if err != nil {
 		return err
 	}
 	summarize(w, stats)
 	if withEnergy {
-		return energyTable(w, stats)
+		return energyTable(w, stats, successProb)
 	}
 	return nil
 }
@@ -152,11 +167,14 @@ func summarize(w io.Writer, stats []fl.RoundStats) {
 // waiting power). Traces carrying measured frame-byte counts (networked
 // runs) get the upload/download phases priced from bytes on the wire via
 // the canonical WiFi radio model, plus a bytes-on-wire summary table.
-func energyTable(w io.Writer, stats []fl.RoundStats) error {
+func energyTable(w io.Writer, stats []fl.RoundStats, successProb float64) error {
 	var down, up int64
+	var attempted, delivered int64
 	for _, s := range stats {
 		down += s.DownlinkBytes
 		up += s.UplinkBytes
+		attempted += s.DownlinkAttemptBytes + s.UplinkAttemptBytes
+		delivered += s.DownlinkDeliveredBytes + s.UplinkDeliveredBytes
 	}
 	opts := []energy.CalibratorOption{}
 	if down > 0 || up > 0 {
@@ -193,7 +211,33 @@ func energyTable(w io.Writer, stats []fl.RoundStats) error {
 		fmt.Fprintf(w, "%-10s %13dB %13dB %12.3f\n", "downlink", down, down/n, rm.DownloadEnergy(down))
 		fmt.Fprintf(w, "%-10s %13dB %13dB %12.3f\n", "uplink", up, up/n, rm.UploadEnergy(up))
 	}
+	if attempted > 0 && delivered > 0 {
+		datagramSection(w, attempted, delivered, successProb)
+	}
 	return nil
+}
+
+// datagramSection reports the Eq. 4 closure of a datagram trace: the
+// transport counted every transmission attempt (retransmissions and injected
+// losses included, at wire size) against the unique bytes acknowledged, so
+// attempted/delivered is the measured mean attempt count 1/p̂ and
+// ρ·attempted/delivered the measured expected energy per delivered byte at
+// the paper's NB-IoT ρ. With a configured p (-success-prob) the analytic ρ/p
+// is printed alongside with the relative deviation.
+func datagramSection(w io.Writer, attempted, delivered int64, successProb float64) {
+	ratio := float64(attempted) / float64(delivered)
+	rho := iot.NBIoTJoulesPerByte
+	fmt.Fprintf(w, "\ndatagram delivery (Eq. 4 on measured bytes; ρ = NB-IoT %.5g J/B):\n", rho)
+	fmt.Fprintf(w, "attempted:  %dB\n", attempted)
+	fmt.Fprintf(w, "delivered:  %dB\n", delivered)
+	fmt.Fprintf(w, "measured:   %.4f attempts per delivered byte (p̂ = %.4f)\n", ratio, 1/ratio)
+	fmt.Fprintf(w, "measured:   %.6g J per delivered byte (ρ·attempted/delivered)\n", rho*ratio)
+	if successProb > 0 {
+		analytic := rho / successProb
+		dev := 100 * (rho*ratio - analytic) / analytic
+		fmt.Fprintf(w, "analytic:   %.6g J per delivered byte (ρ/p at p = %.4f), measured %+.2f%% off\n",
+			analytic, successProb, dev)
+	}
 }
 
 // readTrace decodes one RoundStats per non-blank line via fl.ReadTrace,

@@ -21,7 +21,7 @@ func TestSummarizeGolden(t *testing.T) {
 		t.Fatalf("read golden: %v", err)
 	}
 	var out strings.Builder
-	if err := report(&out, trace, false); err != nil {
+	if err := report(&out, trace, false, 0); err != nil {
 		t.Fatalf("report: %v", err)
 	}
 	if out.String() != string(want) {
@@ -43,7 +43,7 @@ func TestEnergyGolden(t *testing.T) {
 		t.Fatalf("read golden: %v", err)
 	}
 	var out strings.Builder
-	if err := report(&out, trace, true); err != nil {
+	if err := report(&out, trace, true, 0); err != nil {
 		t.Fatalf("report: %v", err)
 	}
 	if out.String() != string(want) {
@@ -82,6 +82,57 @@ func TestRunEnergyFlag(t *testing.T) {
 	}
 }
 
+// TestDgramEnergySection: a trace carrying the datagram attempted/delivered
+// counters must grow the -energy report by the Eq. 4 section — measured
+// attempts per delivered byte and ρ·attempted/delivered — and, when
+// -success-prob supplies the configured p, the analytic ρ/p alongside.
+func TestDgramEnergySection(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-energy", "-success-prob", "0.9", "testdata/dgram_trace.jsonl"}, nil, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"datagram delivery (Eq. 4 on measured bytes",
+		"attempted:  245600B",
+		"delivered:  220800B",
+		"1.1123 attempts per delivered byte",
+		"p̂ = 0.8990",
+		"analytic:",
+		"ρ/p at p = 0.9000",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dgram energy report missing %q:\n%s", want, got)
+		}
+	}
+
+	// Without -success-prob the measured side still prints, the analytic
+	// comparison does not.
+	out.Reset()
+	if err := run([]string{"-energy", "testdata/dgram_trace.jsonl"}, nil, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "datagram delivery") {
+		t.Error("measured section must not require -success-prob")
+	}
+	if strings.Contains(out.String(), "analytic:") {
+		t.Error("analytic line must require -success-prob")
+	}
+
+	// A stream trace (no attempt counters) must not grow the section, and an
+	// out-of-range probability is a usage error.
+	out.Reset()
+	if err := run([]string{"-energy", "testdata/sample_trace.jsonl"}, nil, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "datagram delivery") {
+		t.Error("stream trace must not emit the datagram section")
+	}
+	if err := run([]string{"-success-prob", "1.5", "testdata/dgram_trace.jsonl"}, nil, &out, &errOut); err == nil {
+		t.Error("-success-prob outside [0,1] must be rejected")
+	}
+}
+
 // TestSummarizeAsyncGolden pins the report for a checked-in AsyncEngine
 // trace (examples/async_fl -steps 12 -max-staleness 2 -workers 2 -trace):
 // the staleness-dropped steps must surface on the faults line, and dropped
@@ -97,7 +148,7 @@ func TestSummarizeAsyncGolden(t *testing.T) {
 		t.Fatalf("read golden: %v", err)
 	}
 	var out strings.Builder
-	if err := report(&out, trace, false); err != nil {
+	if err := report(&out, trace, false, 0); err != nil {
 		t.Fatalf("report: %v", err)
 	}
 	if out.String() != string(want) {
@@ -111,7 +162,7 @@ func TestSummarizeAsyncGolden(t *testing.T) {
 func TestSummarizeRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
 	for _, in := range []string{"", "\n\n  \n"} {
-		if err := report(&out, strings.NewReader(in), false); !errors.Is(err, errEmptyTrace) {
+		if err := report(&out, strings.NewReader(in), false, 0); !errors.Is(err, errEmptyTrace) {
 			t.Errorf("empty input %q = %v, want errEmptyTrace", in, err)
 		}
 	}
@@ -122,7 +173,7 @@ func TestSummarizeReportsBadLineNumber(t *testing.T) {
 
 not json at all`
 	var out strings.Builder
-	err := report(&out, strings.NewReader(in), false)
+	err := report(&out, strings.NewReader(in), false, 0)
 	if err == nil || !strings.Contains(err.Error(), "line 3") {
 		t.Errorf("malformed line error = %v, want mention of line 3", err)
 	}
@@ -133,7 +184,7 @@ func TestSummarizeSingleRound(t *testing.T) {
 	// remainder and shares sum to 100%.
 	in := `{"round":0,"select_ns":1000,"train_ns":5000,"aggregate_ns":0,"evaluate_ns":0,"total_ns":10000,"rounds_per_sec":100000}`
 	var out strings.Builder
-	if err := report(&out, strings.NewReader(in), false); err != nil {
+	if err := report(&out, strings.NewReader(in), false, 0); err != nil {
 		t.Fatalf("report: %v", err)
 	}
 	got := out.String()

@@ -188,11 +188,22 @@ func (c *Calibrator) ObserveRound(s fl.RoundStats) {
 			if workers < 1 {
 				workers = 1
 			}
+			// On a datagram transport the attempted packet bytes supersede
+			// the frame bytes: the radio transmitted every attempt,
+			// retransmissions included, which is exactly the ρ/p inflation
+			// of Eq. 4's unlicensed band made measurable.
+			up, down := s.UplinkBytes, s.DownlinkBytes
+			if s.UplinkAttemptBytes > 0 {
+				up = s.UplinkAttemptBytes
+			}
+			if s.DownlinkAttemptBytes > 0 {
+				down = s.DownlinkAttemptBytes
+			}
 			switch {
-			case ep == PhaseUpload && s.UplinkBytes > 0:
-				j = c.radio.UploadEnergy(s.UplinkBytes / workers)
-			case ep == PhaseDownload && s.DownlinkBytes > 0:
-				j = c.radio.DownloadEnergy(s.DownlinkBytes / workers)
+			case ep == PhaseUpload && up > 0:
+				j = c.radio.UploadEnergy(up / workers)
+			case ep == PhaseDownload && down > 0:
+				j = c.radio.DownloadEnergy(down / workers)
 			}
 		}
 		c.ledger.Add(ep, j)

@@ -130,6 +130,46 @@ func TestCalibratorRadioPricing(t *testing.T) {
 	}
 }
 
+// TestCalibratorPricesAttemptedBytes checks that when a round carries datagram
+// attempt counters, the radio phases are priced from attempted bytes — every
+// transmission the radio made, retransmissions included — not from the frame
+// bytes the application saw. This is the measured side of Eq. 4's ρ/p
+// inflation: at success probability p, attempted ≈ delivered/p, and the ledger
+// must charge for the attempts.
+func TestCalibratorPricesAttemptedBytes(t *testing.T) {
+	rm := RadioModel{
+		UplinkBitsPerSec:   8e6,
+		DownlinkBitsPerSec: 8e6,
+		TxPowerWatts:       5,
+		RxPowerWatts:       4,
+	}
+	cal, err := NewCalibrator(DefaultPiPowerModel(), 1, 10, WithRadioModel(rm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fl.RoundStats{
+		Round:     0,
+		Aggregate: 30 * time.Millisecond, // maps to upload
+		Evaluate:  40 * time.Millisecond, // maps to download
+		Total:     70 * time.Millisecond,
+		Workers:   2,
+		// Frame bytes as delivered by the transport...
+		UplinkBytes:   4e6,
+		DownlinkBytes: 2e6,
+		// ...but the radio attempted twice as many (p = 0.5): these must win.
+		UplinkAttemptBytes:   8e6, // 4e6 per worker → 4 s at 5 W → 20 J
+		DownlinkAttemptBytes: 4e6, // 2e6 per worker → 2 s at 4 W → 8 J
+	}
+	cal.ObserveRound(s)
+	led := cal.Ledger()
+	if got := led.Phase(PhaseUpload); math.Abs(got-20) > 1e-9 {
+		t.Errorf("upload = %v J, want 20 (attempted-byte-priced)", got)
+	}
+	if got := led.Phase(PhaseDownload); math.Abs(got-8) > 1e-9 {
+		t.Errorf("download = %v J, want 8 (attempted-byte-priced)", got)
+	}
+}
+
 func TestNewCalibratorRejectsBadRadioModel(t *testing.T) {
 	_, err := NewCalibrator(DefaultPiPowerModel(), 1, 10,
 		WithRadioModel(RadioModel{}))

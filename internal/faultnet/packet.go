@@ -1,0 +1,136 @@
+package faultnet
+
+import (
+	"fmt"
+	"sync"
+
+	"eefei/internal/mat"
+)
+
+// PacketConfig describes the fault distribution of a PacketInjector: a
+// datagram-level counterpart of Config. Where Config keys stream faults to
+// byte positions, a PacketInjector keys them to the packet index in one
+// direction of one link — the natural unit for a datagram transport, where
+// the carrier loses, duplicates, or reorders whole packets. The zero value
+// injects nothing.
+type PacketConfig struct {
+	// Seed drives every fault decision. The same seed over the same packet
+	// sequence reproduces the same fates.
+	Seed uint64
+	// LossProb is the probability that a packet is dropped in flight.
+	LossProb float64
+	// DupProb is the probability that a packet is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability that a packet is held back and
+	// released after the next one (a one-packet swap).
+	ReorderProb float64
+}
+
+// Validate checks the configuration.
+func (c PacketConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"loss", c.LossProb}, {"dup", c.DupProb}, {"reorder", c.ReorderProb}} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("packet %s probability %v outside [0,1): %w", p.name, p.v, ErrInjected)
+		}
+	}
+	return nil
+}
+
+// PacketFate is the injector's decision for one packet.
+type PacketFate struct {
+	// Drop loses the packet: it must not reach the receiver.
+	Drop bool
+	// Dup delivers the packet twice.
+	Dup bool
+	// Hold swaps the packet with the next one: the carrier holds it back
+	// and releases it after the following packet.
+	Hold bool
+}
+
+// PacketStats counts the faults a PacketInjector has decided so far.
+type PacketStats struct {
+	// Packets is the number of fates drawn.
+	Packets int64
+	// Dropped counts lost packets.
+	Dropped int64
+	// Duplicated counts double-delivered packets.
+	Duplicated int64
+	// Held counts packets swapped with their successor.
+	Held int64
+}
+
+// PacketInjector draws a deterministic fate per packet. Each decision
+// (drop, dup, hold) consumes from its own seed-derived RNG stream, and every
+// configured stream advances exactly once per packet regardless of the other
+// outcomes — so fates are a pure function of the packet index and the
+// carrier's behaviour (latency, real loss) cannot shift where injected
+// faults land. Safe for concurrent use; determinism requires that the
+// packet order itself is deterministic (one injector per link direction).
+type PacketInjector struct {
+	mu      sync.Mutex
+	cfg     PacketConfig
+	loss    *mat.RNG
+	dup     *mat.RNG
+	reorder *mat.RNG
+	stats   PacketStats
+}
+
+// NewPacketInjector builds a PacketInjector over the given configuration.
+func NewPacketInjector(cfg PacketConfig) (*PacketInjector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pi := &PacketInjector{cfg: cfg}
+	if cfg.LossProb > 0 {
+		pi.loss = mat.NewRNG(subSeed(cfg.Seed, 0, 5))
+	}
+	if cfg.DupProb > 0 {
+		pi.dup = mat.NewRNG(subSeed(cfg.Seed, 0, 6))
+	}
+	if cfg.ReorderProb > 0 {
+		pi.reorder = mat.NewRNG(subSeed(cfg.Seed, 0, 7))
+	}
+	return pi, nil
+}
+
+// Next draws the fate of the next packet. A dropped packet's dup/hold flags
+// are cleared (there is nothing left to duplicate or hold), but their RNG
+// streams still advance.
+func (pi *PacketInjector) Next() PacketFate {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	var f PacketFate
+	if pi.loss != nil {
+		f.Drop = pi.loss.Bernoulli(pi.cfg.LossProb)
+	}
+	if pi.dup != nil {
+		f.Dup = pi.dup.Bernoulli(pi.cfg.DupProb)
+	}
+	if pi.reorder != nil {
+		f.Hold = pi.reorder.Bernoulli(pi.cfg.ReorderProb)
+	}
+	if f.Drop {
+		f.Dup, f.Hold = false, false
+	}
+	pi.stats.Packets++
+	if f.Drop {
+		pi.stats.Dropped++
+	}
+	if f.Dup {
+		pi.stats.Duplicated++
+	}
+	if f.Hold {
+		pi.stats.Held++
+	}
+	return f
+}
+
+// Stats returns a snapshot of the fault counters.
+func (pi *PacketInjector) Stats() PacketStats {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	return pi.stats
+}

@@ -1,0 +1,80 @@
+package faultnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPacketInjectorZeroConfigInert(t *testing.T) {
+	pi, err := NewPacketInjector(PacketConfig{})
+	if err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if f := pi.Next(); f.Drop || f.Dup || f.Hold {
+			t.Fatalf("packet %d: zero config injected %+v", i, f)
+		}
+	}
+	s := pi.Stats()
+	if s.Packets != 1000 || s.Dropped+s.Duplicated+s.Held != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPacketInjectorValidate(t *testing.T) {
+	for _, cfg := range []PacketConfig{
+		{LossProb: -0.1}, {LossProb: 1}, {DupProb: 1.5}, {ReorderProb: 1},
+	} {
+		if _, err := NewPacketInjector(cfg); !errors.Is(err, ErrInjected) {
+			t.Errorf("config %+v: want ErrInjected, got %v", cfg, err)
+		}
+	}
+}
+
+func TestPacketInjectorDeterministic(t *testing.T) {
+	cfg := PacketConfig{Seed: 77, LossProb: 0.2, DupProb: 0.1, ReorderProb: 0.05}
+	draw := func() []PacketFate {
+		pi, err := NewPacketInjector(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fates := make([]PacketFate, 500)
+		for i := range fates {
+			fates[i] = pi.Next()
+		}
+		return fates
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPacketInjectorRates(t *testing.T) {
+	const n = 20000
+	cfg := PacketConfig{Seed: 3, LossProb: 0.3, DupProb: 0.15, ReorderProb: 0.1}
+	pi, err := NewPacketInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f := pi.Next()
+		if f.Drop && (f.Dup || f.Hold) {
+			t.Fatal("dropped packet also duplicated/held")
+		}
+	}
+	s := pi.Stats()
+	if got := float64(s.Dropped) / n; math.Abs(got-cfg.LossProb) > 0.02 {
+		t.Errorf("drop rate %.3f, want ≈ %.3f", got, cfg.LossProb)
+	}
+	// Dup/hold are cleared on drops, so their marginal rate is p·(1−loss).
+	if got, want := float64(s.Duplicated)/n, cfg.DupProb*(1-cfg.LossProb); math.Abs(got-want) > 0.02 {
+		t.Errorf("dup rate %.3f, want ≈ %.3f", got, want)
+	}
+	if got, want := float64(s.Held)/n, cfg.ReorderProb*(1-cfg.LossProb); math.Abs(got-want) > 0.02 {
+		t.Errorf("hold rate %.3f, want ≈ %.3f", got, want)
+	}
+}

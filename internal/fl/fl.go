@@ -155,6 +155,18 @@ type RoundRecord struct {
 	// radio energy model prices, replacing the analytic estimate.
 	DownlinkBytes int64
 	UplinkBytes   int64
+	// The *AttemptBytes / *DeliveredBytes pairs are only set when the round
+	// ran over a datagram transport with per-attempt accounting
+	// (fldgram): attempted counts every packet transmission including
+	// retransmissions and injected drops — the energy the radio actually
+	// spent — while delivered counts unique acknowledged packets, both at
+	// wire size (datagram headers included). Their ratio is the measured
+	// expected attempts per delivery, which Eq. 4 predicts converges to
+	// 1/p on the unlicensed band. Zero on stream transports.
+	DownlinkAttemptBytes   int64
+	DownlinkDeliveredBytes int64
+	UplinkAttemptBytes     int64
+	UplinkDeliveredBytes   int64
 }
 
 // Observer is notified after every completed round; the energy simulator

@@ -114,6 +114,15 @@ type RoundStats struct {
 	// request bytes and client→coordinator reply bytes respectively.
 	DownlinkBytes int64 `json:"downlink_bytes,omitempty"`
 	UplinkBytes   int64 `json:"uplink_bytes,omitempty"`
+	// The attempt/delivered pairs mirror the round record's datagram
+	// transport counters (fldgram runs only): every packet transmission
+	// the radio paid for vs the unique acknowledged packets, wire size
+	// with datagram headers. attempted/delivered is the measured 1/p of
+	// Eq. 4's geometric retransmission model.
+	DownlinkAttemptBytes   int64 `json:"downlink_attempt_bytes,omitempty"`
+	DownlinkDeliveredBytes int64 `json:"downlink_delivered_bytes,omitempty"`
+	UplinkAttemptBytes     int64 `json:"uplink_attempt_bytes,omitempty"`
+	UplinkDeliveredBytes   int64 `json:"uplink_delivered_bytes,omitempty"`
 }
 
 // PhaseDuration returns the duration recorded for phase p.

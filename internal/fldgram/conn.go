@@ -1,0 +1,480 @@
+package fldgram
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"eefei/internal/faultnet"
+)
+
+// errPeerClosed reports a write against a peer that sent FIN.
+var errPeerClosed = fmt.Errorf("peer closed: %w", ErrTransport)
+
+// Stats is a snapshot of one Conn's packet accounting. The Tx side counts
+// data packets only (ACKs and FINs ride for free in the energy model — the
+// paper prices sample upload attempts, and the 20-byte ACK is noise next to
+// kilobyte fragments, but AckPackets records how many were sent).
+type Stats struct {
+	// TxAttempts / TxAttemptBytes count every data-packet transmission,
+	// retransmissions and injected drops included — the radio spent the
+	// energy whether or not the carrier delivered.
+	TxAttempts     int64
+	TxAttemptBytes int64
+	// TxDelivered / TxDeliveredBytes count unique acknowledged fragments
+	// (wire size, header included).
+	TxDelivered      int64
+	TxDeliveredBytes int64
+	// Rx counters mirror the receive side: unique in-order data packets
+	// delivered to Read, duplicates re-acknowledged, strays ahead of the
+	// in-order frontier, and datagrams that failed validation.
+	RxDelivered      int64
+	RxDeliveredBytes int64
+	RxDupPackets     int64
+	RxAheadPackets   int64
+	RxInvalidPackets int64
+	// AckPackets counts acknowledgments sent (including injected-dropped
+	// ones).
+	AckPackets int64
+	// PeerAttemptBytes is the peer's cumulative attempted data bytes as
+	// last reported in a packet header.
+	PeerAttemptBytes int64
+}
+
+// Conn is a reliable net.Conn over an unreliable PacketLink: MTU
+// fragmentation, CRC-validated reassembly, and a stop-and-wait ARQ with
+// per-attempt accounting. One goroutine owns the link's receive side; Write
+// calls are serialized internally. Read supports a single reader at a time
+// (concurrent readers would race for the same in-order stream anyway).
+type Conn struct {
+	link PacketLink
+	cfg  Config
+	// payload is the data capacity of one fragment.
+	payload   int
+	dataChaos *faultnet.PacketInjector
+	ackChaos  *faultnet.PacketInjector
+	meter     *Meter
+
+	// writeMu serializes Write calls (one fragment in flight at a time).
+	writeMu   sync.Mutex
+	txScratch []byte
+
+	// sendMu serializes link.WritePacket across the writer goroutine and
+	// the receive loop's ACKs, and guards the reorder hold-back slot.
+	sendMu     sync.Mutex
+	ackScratch []byte
+	held       []byte
+	heldValid  bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ra      reassembler
+	txSeq   uint32 // next data sequence number to assign
+	txAcked uint64 // fragments acknowledged (cumulative)
+	stats   Stats
+	readDL  time.Time
+	writeDL time.Time
+	err     error // sticky receive-loop failure
+	closed  bool
+
+	ackTimer *time.Timer
+	rdTimer  *time.Timer
+}
+
+// newConn wraps a PacketLink. idx distinguishes sibling conns of one
+// endpoint so each draws independent chaos streams from cfg.Seed. cfg must
+// already be validated.
+func newConn(link PacketLink, cfg Config, idx int) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{link: link, cfg: cfg, payload: cfg.MTU - headerLen, meter: cfg.Meter}
+	c.cond = sync.NewCond(&c.mu)
+	c.ackTimer = stoppedTimer(c.wakeAll)
+	c.rdTimer = stoppedTimer(c.wakeAll)
+	if p := lossProb(cfg.SuccessProb); p > 0 || cfg.DupProb > 0 || cfg.ReorderProb > 0 {
+		c.dataChaos = mustPacketInjector(faultnet.PacketConfig{
+			Seed:        mixSeed(cfg.Seed, idx, 1),
+			LossProb:    p,
+			DupProb:     cfg.DupProb,
+			ReorderProb: cfg.ReorderProb,
+		})
+	}
+	if p := lossProb(cfg.AckSuccessProb); p > 0 {
+		c.ackChaos = mustPacketInjector(faultnet.PacketConfig{
+			Seed:     mixSeed(cfg.Seed, idx, 2),
+			LossProb: p,
+		})
+	}
+	go c.recvLoop()
+	return c
+}
+
+// mixSeed derives an uncorrelated stream seed per (conn, direction),
+// following faultnet's splitmix-style mixer.
+func mixSeed(seed uint64, idx int, stream uint64) uint64 {
+	z := seed + uint64(idx+1)*0x9e3779b97f4a7c15 + stream*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0x94d049bb133111eb
+	return z ^ (z >> 27)
+}
+
+func mustPacketInjector(cfg faultnet.PacketConfig) *faultnet.PacketInjector {
+	pi, err := faultnet.NewPacketInjector(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("fldgram: %v", err)) // Config.Validate bounds the probabilities
+	}
+	return pi
+}
+
+// stoppedTimer returns a disarmed timer firing f when Reset.
+func stoppedTimer(f func()) *time.Timer {
+	t := time.AfterFunc(time.Hour, f)
+	t.Stop()
+	return t
+}
+
+// wakeAll broadcasts under the state lock, so a wakeup can never slip into
+// the window between a waiter's condition check and its cond.Wait.
+func (c *Conn) wakeAll() {
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// recvLoop owns the link's receive side until the link dies.
+func (c *Conn) recvLoop() {
+	buf := make([]byte, maxMTU+1)
+	for {
+		n, err := c.link.ReadPacket(buf)
+		if err != nil {
+			c.mu.Lock()
+			if c.err == nil {
+				c.err = err
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.process(buf[:n])
+	}
+}
+
+// process routes one raw datagram: ACKs feed the send side, everything else
+// goes through the reassembler (which also validates and counts garbage).
+func (c *Conn) process(pkt []byte) {
+	if len(pkt) > 0 && pkt[0] == pktAck {
+		_, _, seq, attemptBytes, _, ok := decodePacket(pkt)
+		c.mu.Lock()
+		if !ok {
+			c.ra.invalidPackets++
+			c.mu.Unlock()
+			return
+		}
+		if attemptBytes > c.ra.peerAttemptBytes {
+			c.ra.peerAttemptBytes = attemptBytes
+		}
+		if a := uint64(seq) + 1; a > c.txAcked {
+			c.txAcked = a
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	ackSeq, ack := c.ra.absorb(pkt)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if ack {
+		c.sendAck(ackSeq)
+	}
+}
+
+// sendAck acknowledges the in-order frontier, carrying this side's
+// cumulative attempted bytes so the peer can meter our spend.
+func (c *Conn) sendAck(seq uint32) {
+	c.mu.Lock()
+	cum := uint64(c.stats.TxAttemptBytes)
+	c.stats.AckPackets++
+	c.mu.Unlock()
+	drop := false
+	if c.ackChaos != nil {
+		drop = c.ackChaos.Next().Drop
+	}
+	if drop {
+		return
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.ackScratch = encodePacket(c.ackScratch[:0], pktAck, 0, seq, cum, nil)
+	c.link.WritePacket(c.ackScratch)
+}
+
+// sendData puts one data packet on the carrier, applying the injected
+// duplication/reorder fate. A held packet is released by the next send.
+func (c *Conn) sendData(pkt []byte, fate faultnet.PacketFate) {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if fate.Hold {
+		c.held = append(c.held[:0], pkt...)
+		c.heldValid = true
+		return
+	}
+	c.link.WritePacket(pkt)
+	if fate.Dup {
+		c.link.WritePacket(pkt)
+	}
+	if c.heldValid {
+		c.heldValid = false
+		c.link.WritePacket(c.held)
+	}
+}
+
+// Write fragments p into MTU-sized data packets and delivers each through
+// the ARQ. It returns only when every byte is acknowledged (or the conn
+// fails), so the flnet frame protocol's write-then-await-reply sequencing
+// holds unchanged over a lossy carrier.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	written := 0
+	for written < len(p) {
+		frag := p[written:]
+		var flags byte
+		if len(frag) <= c.payload {
+			flags = flagFrameEnd
+		} else {
+			frag = frag[:c.payload]
+		}
+		c.mu.Lock()
+		seq := c.txSeq
+		c.txSeq++
+		c.mu.Unlock()
+		if err := c.writeFragment(seq, flags, frag); err != nil {
+			return written, err
+		}
+		written += len(frag)
+	}
+	return written, nil
+}
+
+// writeFragment runs the stop-and-wait ARQ for one fragment: transmit,
+// await the cumulative ACK, retransmit on RTO — except that an
+// injected-dropped attempt skips both the carrier and the RTO wait, since
+// the drop decision already happened on "the radio" and no ACK can come.
+func (c *Conn) writeFragment(seq uint32, flags byte, frag []byte) error {
+	pktLen := headerLen + len(frag)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return errClosed
+		}
+		if c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
+		if c.ra.finSeen {
+			c.mu.Unlock()
+			return errPeerClosed
+		}
+		if c.txAcked > uint64(seq) {
+			// A late ACK (after an RTO-triggered loop) already covered this
+			// fragment.
+			c.deliveredLocked(pktLen)
+			c.mu.Unlock()
+			return nil
+		}
+		deadline := c.writeDL
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			c.mu.Unlock()
+			return os.ErrDeadlineExceeded
+		}
+		c.stats.TxAttempts++
+		c.stats.TxAttemptBytes += int64(pktLen)
+		cum := uint64(c.stats.TxAttemptBytes)
+		c.mu.Unlock()
+		c.meter.addAttempt(pktLen)
+
+		var fate faultnet.PacketFate
+		if c.dataChaos != nil {
+			fate = c.dataChaos.Next()
+		}
+		if fate.Drop {
+			// Retransmit immediately: attempt counted, energy spent, no wait.
+			continue
+		}
+		c.txScratch = encodePacket(c.txScratch[:0], pktData, flags, seq, cum, frag)
+		c.sendData(c.txScratch, fate)
+		acked, err := c.awaitAck(seq)
+		if err != nil {
+			return err
+		}
+		if acked {
+			c.mu.Lock()
+			c.deliveredLocked(pktLen)
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("fragment %d after %d attempts: %w", seq, c.cfg.MaxAttempts, errAttempts)
+}
+
+func (c *Conn) deliveredLocked(pktLen int) {
+	c.stats.TxDelivered++
+	c.stats.TxDeliveredBytes += int64(pktLen)
+	c.meter.addDelivered(pktLen)
+}
+
+// awaitAck blocks until the cumulative ACK covers seq, the RTO expires
+// (acked=false: retransmit), or the conn fails.
+func (c *Conn) awaitAck(seq uint32) (acked bool, err error) {
+	rtoAt := time.Now().Add(c.cfg.RTO)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.txAcked > uint64(seq) {
+			return true, nil
+		}
+		if c.closed {
+			return false, errClosed
+		}
+		if c.err != nil {
+			return false, c.err
+		}
+		if c.ra.finSeen {
+			return false, errPeerClosed
+		}
+		now := time.Now()
+		if !c.writeDL.IsZero() && !now.Before(c.writeDL) {
+			return false, os.ErrDeadlineExceeded
+		}
+		if !now.Before(rtoAt) {
+			return false, nil
+		}
+		wake := rtoAt
+		if !c.writeDL.IsZero() && c.writeDL.Before(wake) {
+			wake = c.writeDL
+		}
+		c.ackTimer.Reset(wake.Sub(now))
+		c.cond.Wait()
+	}
+}
+
+// Read returns in-order reassembled stream bytes.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(c.ra.buf) > 0 {
+			if len(p) == 0 {
+				return 0, nil
+			}
+			return c.ra.read(p), nil
+		}
+		if c.closed {
+			return 0, errClosed
+		}
+		if c.ra.finSeen {
+			return 0, io.EOF
+		}
+		if c.err != nil {
+			return 0, c.err
+		}
+		now := time.Now()
+		if !c.readDL.IsZero() {
+			if !now.Before(c.readDL) {
+				return 0, os.ErrDeadlineExceeded
+			}
+			c.rdTimer.Reset(c.readDL.Sub(now))
+		}
+		c.cond.Wait()
+	}
+}
+
+// Close sends a best-effort FIN (twice, bypassing injected loss — UDP has
+// no EOF, and a silently vanished peer would otherwise pin the remote Read
+// until its deadline) and tears down the link, unblocking all waiters.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	seq := c.txSeq
+	cum := uint64(c.stats.TxAttemptBytes)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	c.sendMu.Lock()
+	if c.heldValid {
+		c.heldValid = false
+		c.link.WritePacket(c.held)
+	}
+	fin := encodePacket(nil, pktFin, 0, seq, cum, nil)
+	c.link.WritePacket(fin)
+	c.link.WritePacket(fin)
+	c.sendMu.Unlock()
+	return c.link.Close()
+}
+
+// Stats returns a snapshot of the packet accounting.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.RxDelivered = c.ra.deliveredPackets
+	s.RxDeliveredBytes = c.ra.deliveredBytes
+	s.RxDupPackets = c.ra.dupPackets
+	s.RxAheadPackets = c.ra.aheadPackets
+	s.RxInvalidPackets = c.ra.invalidPackets
+	s.PeerAttemptBytes = int64(c.ra.peerAttemptBytes)
+	return s
+}
+
+// DgramCounters exposes the four counters flnet meters per round:
+// this side's attempted and delivered (acknowledged) data bytes, the peer's
+// cumulative attempted data bytes as last reported, and the unique data
+// bytes received. flnet type-asserts for exactly this method, keeping the
+// packages decoupled.
+func (c *Conn) DgramCounters() (txAttemptBytes, txDeliveredBytes, peerAttemptBytes, rxDeliveredBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.TxAttemptBytes, c.stats.TxDeliveredBytes,
+		int64(c.ra.peerAttemptBytes), c.ra.deliveredBytes
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.link.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.link.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,119 @@
+package fldgram
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	payload := []byte("federated edge intelligence")
+	pkt := encodePacket(nil, pktData, flagFrameEnd, 42, 1<<40+7, payload)
+	if len(pkt) != headerLen+len(payload) {
+		t.Fatalf("packet length %d, want %d", len(pkt), headerLen+len(payload))
+	}
+	typ, flags, seq, ab, got, ok := decodePacket(pkt)
+	if !ok {
+		t.Fatal("decodePacket rejected a valid packet")
+	}
+	if typ != pktData || flags != flagFrameEnd || seq != 42 || ab != 1<<40+7 {
+		t.Fatalf("decoded (%x, %x, %d, %d)", typ, flags, seq, ab)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+}
+
+func TestPacketRejectsMutations(t *testing.T) {
+	pkt := encodePacket(nil, pktData, 0, 7, 999, []byte("abcdefgh"))
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated header", func(p []byte) []byte { return p[:headerLen-1] }},
+		{"truncated payload", func(p []byte) []byte { return p[:len(p)-1] }},
+		{"extended", func(p []byte) []byte { return append(p, 0) }},
+		{"empty", func(p []byte) []byte { return nil }},
+		{"type flip", func(p []byte) []byte { p[0] = 'X'; return p }},
+		{"flag flip", func(p []byte) []byte { p[1] ^= 0x80; return p }},
+		{"length flip", func(p []byte) []byte { p[2] ^= 1; return p }},
+		{"seq flip", func(p []byte) []byte { p[5] ^= 1; return p }},
+		{"counter flip", func(p []byte) []byte { p[12] ^= 1; return p }},
+		{"crc flip", func(p []byte) []byte { p[17] ^= 1; return p }},
+		{"payload flip", func(p []byte) []byte { p[headerLen+3] ^= 1; return p }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(append([]byte(nil), pkt...))
+			if _, _, _, _, _, ok := decodePacket(mutated); ok {
+				t.Fatal("decodePacket accepted a mutated packet")
+			}
+		})
+	}
+}
+
+func TestReassemblerInOrder(t *testing.T) {
+	var ra reassembler
+	var want []byte
+	for seq := uint32(0); seq < 5; seq++ {
+		payload := bytes.Repeat([]byte{byte('a' + seq)}, 3)
+		want = append(want, payload...)
+		pkt := encodePacket(nil, pktData, 0, seq, 0, payload)
+		ackSeq, ack := ra.absorb(pkt)
+		if !ack || ackSeq != seq {
+			t.Fatalf("seq %d: ack=%v ackSeq=%d", seq, ack, ackSeq)
+		}
+	}
+	got := make([]byte, len(want))
+	if n := ra.read(got); n != len(want) || !bytes.Equal(got, want) {
+		t.Fatalf("read %d bytes %q, want %q", n, got[:n], want)
+	}
+	if ra.deliveredPackets != 5 || ra.dupPackets != 0 {
+		t.Fatalf("delivered=%d dup=%d", ra.deliveredPackets, ra.dupPackets)
+	}
+}
+
+func TestReassemblerDupAndAhead(t *testing.T) {
+	var ra reassembler
+	p0 := encodePacket(nil, pktData, 0, 0, 0, []byte("one"))
+	p1 := encodePacket(nil, pktData, 0, 1, 0, []byte("two"))
+	p2 := encodePacket(nil, pktData, 0, 2, 0, []byte("three"))
+
+	// Ahead of the frontier: rejected, no ack.
+	if _, ack := ra.absorb(p1); ack {
+		t.Fatal("acked a packet ahead of the frontier")
+	}
+	if _, ack := ra.absorb(p0); !ack {
+		t.Fatal("in-order packet not acked")
+	}
+	// Duplicate: re-acked at the frontier, not delivered twice.
+	if ackSeq, ack := ra.absorb(p0); !ack || ackSeq != 0 {
+		t.Fatalf("dup: ack=%v seq=%d", ack, ackSeq)
+	}
+	if _, ack := ra.absorb(p1); !ack {
+		t.Fatal("in-order packet not acked")
+	}
+	if _, ack := ra.absorb(p2); !ack {
+		t.Fatal("in-order packet not acked")
+	}
+	buf := make([]byte, 64)
+	n := ra.read(buf)
+	if got, want := string(buf[:n]), "onetwothree"; got != want {
+		t.Fatalf("stream %q, want %q", got, want)
+	}
+	if ra.dupPackets != 1 || ra.aheadPackets != 1 || ra.deliveredPackets != 3 {
+		t.Fatalf("dup=%d ahead=%d delivered=%d", ra.dupPackets, ra.aheadPackets, ra.deliveredPackets)
+	}
+}
+
+func TestReassemblerTracksPeerAttempts(t *testing.T) {
+	var ra reassembler
+	ra.absorb(encodePacket(nil, pktData, 0, 0, 100, nil))
+	ra.absorb(encodePacket(nil, pktData, 0, 0, 90, nil)) // stale dup: counter must not regress
+	if ra.peerAttemptBytes != 100 {
+		t.Fatalf("peerAttemptBytes=%d, want 100", ra.peerAttemptBytes)
+	}
+	ra.absorb(encodePacket(nil, pktFin, 0, 1, 250, nil))
+	if !ra.finSeen || ra.peerAttemptBytes != 250 {
+		t.Fatalf("finSeen=%v peerAttemptBytes=%d", ra.finSeen, ra.peerAttemptBytes)
+	}
+}

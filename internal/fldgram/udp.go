@@ -1,0 +1,245 @@
+package fldgram
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// udpLink is the dialer-side carrier: a connected UDP socket.
+type udpLink struct {
+	uc *net.UDPConn
+}
+
+func (l *udpLink) WritePacket(p []byte) error {
+	_, err := l.uc.Write(p)
+	return err
+}
+
+func (l *udpLink) ReadPacket(buf []byte) (int, error) {
+	return l.uc.Read(buf)
+}
+
+func (l *udpLink) Close() error         { return l.uc.Close() }
+func (l *udpLink) LocalAddr() net.Addr  { return l.uc.LocalAddr() }
+func (l *udpLink) RemoteAddr() net.Addr { return l.uc.RemoteAddr() }
+
+// Dialer returns a dial function in the shape flnet.EdgeConfig.Dial
+// expects, producing datagram Conns over UDP. Conns draw chaos streams
+// from cfg.Seed and a per-dial index, so redials (flnet's reconnect loop)
+// see fresh, still-deterministic fault sequences.
+func Dialer(cfg Config) (func(addr string, timeout time.Duration) (net.Conn, error), error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	next := 0
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		raddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("resolve %s: %w", addr, err)
+		}
+		uc, err := net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		idx := next
+		next++
+		mu.Unlock()
+		return newConn(&udpLink{uc: uc}, cfg, idx), nil
+	}, nil
+}
+
+// muxLink is one peer's receive queue on a shared listener socket; writes
+// go straight out the socket to the peer's address.
+type muxLink struct {
+	l      *Listener
+	remote *net.UDPAddr
+	in     chan []byte
+	once   sync.Once
+	closed chan struct{}
+}
+
+// muxQueueLen bounds one peer's inbound queue; overflow drops packets
+// (datagram semantics — the peer's ARQ retransmits).
+const muxQueueLen = 512
+
+func (ml *muxLink) WritePacket(p []byte) error {
+	_, err := ml.l.pc.WriteToUDP(p, ml.remote)
+	return err
+}
+
+func (ml *muxLink) ReadPacket(buf []byte) (int, error) {
+	select {
+	case pkt := <-ml.in:
+		n := copy(buf, pkt)
+		ml.l.putBuf(pkt)
+		return n, nil
+	case <-ml.closed:
+		return 0, errClosed
+	case <-ml.l.done:
+		return 0, errClosed
+	}
+}
+
+// Close detaches this peer from the mux; the shared socket stays open.
+func (ml *muxLink) Close() error {
+	ml.once.Do(func() {
+		close(ml.closed)
+		ml.l.forget(ml.remote.String())
+	})
+	return nil
+}
+
+func (ml *muxLink) LocalAddr() net.Addr  { return ml.l.pc.LocalAddr() }
+func (ml *muxLink) RemoteAddr() net.Addr { return ml.remote }
+
+// Listener is a net.Listener over one UDP socket: inbound datagrams are
+// demultiplexed by source address, and each new source becomes a pending
+// Conn for Accept. Closing an accepted Conn detaches that peer (a
+// subsequent datagram from the same address would open a fresh Conn —
+// which is how flnet redials land on a new connection).
+type Listener struct {
+	pc  *net.UDPConn
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[string]*muxLink
+	next  int // conn creation index, seeds chaos streams
+
+	acceptCh chan *Conn
+	done     chan struct{}
+	once     sync.Once
+
+	bufPool sync.Pool
+}
+
+// acceptBacklog bounds conns awaiting Accept.
+const acceptBacklog = 128
+
+// Listen opens a datagram listener on the given UDP address.
+func Listen(addr string, cfg Config) (*Listener, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %s: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{
+		pc:       pc,
+		cfg:      cfg,
+		peers:    make(map[string]*muxLink),
+		acceptCh: make(chan *Conn, acceptBacklog),
+		done:     make(chan struct{}),
+	}
+	l.bufPool.New = func() any { return make([]byte, maxMTU+1) }
+	go l.readLoop()
+	return l, nil
+}
+
+func (l *Listener) putBuf(b []byte) {
+	l.bufPool.Put(b[:cap(b)]) //nolint:staticcheck // []byte in a Pool is fine here
+}
+
+// readLoop demultiplexes the socket into per-peer queues, spawning a Conn
+// for each new source address.
+func (l *Listener) readLoop() {
+	for {
+		buf := l.bufPool.Get().([]byte)
+		n, raddr, err := l.pc.ReadFromUDP(buf)
+		if err != nil {
+			l.putBuf(buf)
+			select {
+			case <-l.done:
+			default:
+				l.Close()
+			}
+			return
+		}
+		key := raddr.String()
+		var rejected *Conn
+		l.mu.Lock()
+		ml, ok := l.peers[key]
+		if !ok {
+			ml = &muxLink{
+				l:      l,
+				remote: raddr,
+				in:     make(chan []byte, muxQueueLen),
+				closed: make(chan struct{}),
+			}
+			idx := l.next
+			l.next++
+			conn := newConn(ml, l.cfg, idx)
+			select {
+			case l.acceptCh <- conn:
+				l.peers[key] = ml
+			default:
+				// Accept backlog full: refuse by dropping both the conn and
+				// the packet; the peer's ARQ will retry. Close outside l.mu
+				// — it re-enters via forget.
+				rejected = conn
+				ml = nil
+			}
+		}
+		l.mu.Unlock()
+		if rejected != nil {
+			rejected.Close()
+		}
+		if ml == nil {
+			l.putBuf(buf)
+			continue
+		}
+		select {
+		case ml.in <- buf[:n]:
+		default:
+			l.putBuf(buf) // queue full: carrier drop
+		}
+	}
+}
+
+// forget detaches a peer address from the mux.
+func (l *Listener) forget(key string) {
+	l.mu.Lock()
+	delete(l.peers, key)
+	l.mu.Unlock()
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.acceptCh:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("listener closed: %w", ErrTransport)
+	}
+}
+
+// Close implements net.Listener: the socket closes and every peer Conn's
+// receive side fails.
+func (l *Listener) Close() error {
+	var err error
+	l.once.Do(func() {
+		close(l.done)
+		err = l.pc.Close()
+		// Drain conns never accepted so their recv loops exit.
+		for {
+			select {
+			case c := <-l.acceptCh:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return err
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.pc.LocalAddr() }

@@ -11,6 +11,7 @@ import (
 	"eefei/internal/dataset"
 	"eefei/internal/faultnet"
 	"eefei/internal/fl"
+	"eefei/internal/ml"
 )
 
 // chaosRetry is tuned for loopback tests: generous attempt budget, tiny
@@ -40,8 +41,10 @@ func edgeExitOK(err error) bool {
 // itself via rejoin + re-sent request, so round outcomes do not depend on
 // how reconnect latency races round boundaries. Failed rounds (quorum
 // missed) are tolerated and retried; only committed rounds enter the
-// history. Returns the history plus the per-edge injector fault counters.
-func runChaosTraining(t *testing.T, seed uint64, rounds int, dropMeanBytes float64) ([]fl.RoundRecord, []faultnet.Stats) {
+// history. A non-nil mutate hook adjusts the coordinator config (e.g. the
+// residual-quantized downlink) before the cluster starts. Returns the
+// history plus the per-edge injector fault counters.
+func runChaosTraining(t *testing.T, seed uint64, rounds int, dropMeanBytes float64, mutate func(*CoordinatorConfig)) ([]fl.RoundRecord, []faultnet.Stats) {
 	t.Helper()
 	const servers, k = 5, 3
 
@@ -60,7 +63,7 @@ func runChaosTraining(t *testing.T, seed uint64, rounds int, dropMeanBytes float
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
-	coord, err := NewCoordinator(CoordinatorConfig{
+	ccfg := CoordinatorConfig{
 		FL: fl.Config{
 			ClientsPerRound: k,
 			LocalEpochs:     5,
@@ -74,7 +77,11 @@ func runChaosTraining(t *testing.T, seed uint64, rounds int, dropMeanBytes float
 		JoinTimeout:  10 * time.Second,
 		MinReplies:   2,
 		RejoinGrace:  5 * time.Second,
-	}, ln, test)
+	}
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	coord, err := NewCoordinator(ccfg, ln, test)
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
 	}
@@ -149,7 +156,7 @@ func runChaosTraining(t *testing.T, seed uint64, rounds int, dropMeanBytes float
 // because every casualty rejoins (and the round repairs itself within the
 // grace window or falls back to the quorum of survivors).
 func TestChaosTrainingConvergesUnderFaults(t *testing.T) {
-	history, stats := runChaosTraining(t, 42, 12, 30_000)
+	history, stats := runChaosTraining(t, 42, 12, 30_000, nil)
 	last := history[len(history)-1]
 	if last.TestAccuracy < 0.5 {
 		t.Errorf("accuracy under faults = %v after %d rounds, want >= 0.5",
@@ -190,13 +197,20 @@ func TestChaosTrainingConvergesUnderFaults(t *testing.T) {
 // be counted in either neighbouring round, or repair a round on its first
 // rather than second attempt) and are documented as such.
 func TestChaosDeterministicHistories(t *testing.T) {
-	a, statsA := runChaosTraining(t, 42, 8, 30_000)
-	b, statsB := runChaosTraining(t, 42, 8, 30_000)
+	a, statsA := runChaosTraining(t, 42, 8, 30_000, nil)
+	b, statsB := runChaosTraining(t, 42, 8, 30_000, nil)
 	for i := range statsA {
 		if statsA[i].Dropped != statsB[i].Dropped || statsA[i].Conns != statsB[i].Conns {
 			t.Errorf("edge %d: injector saw %+v vs %+v", i, statsA[i], statsB[i])
 		}
 	}
+	assertIdenticalHistories(t, a, b)
+}
+
+// assertIdenticalHistories demands bit-identical training outcomes per
+// round; Rejoins/Retries stay excluded as wall-clock telemetry.
+func assertIdenticalHistories(t *testing.T, a, b []fl.RoundRecord) {
+	t.Helper()
 	if len(a) != len(b) {
 		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
 	}
@@ -224,6 +238,57 @@ func TestChaosDeterministicHistories(t *testing.T) {
 			t.Errorf("round %d: local losses %v vs %v", ra.Round, ra.LocalLosses, rb.LocalLosses)
 		}
 	}
+}
+
+// quant8Downlink switches the coordinator to the v2 error-feedback
+// residual-quantized downlink at 8 bits.
+func quant8Downlink(cfg *CoordinatorConfig) { cfg.DownloadQuantBits = ml.Quant8 }
+
+// TestChaosQuantizedDownlinkConvergesUnderFaults covers the gap the
+// lossless chaos tests left open: the v2 residual-quantized downlink under
+// ≥10% injected connection drops with rejoins. A rejoin resets the residual
+// chain to a full send, so this exercises exactly the downlink-state commit
+// and base-round tracking that faults can desynchronize.
+func TestChaosQuantizedDownlinkConvergesUnderFaults(t *testing.T) {
+	history, stats := runChaosTraining(t, 42, 12, 30_000, quant8Downlink)
+	last := history[len(history)-1]
+	if last.TestAccuracy < 0.5 {
+		t.Errorf("accuracy with Quant8 downlink under faults = %v after %d rounds, want >= 0.5",
+			last.TestAccuracy, len(history))
+	}
+	participations, rejoins := 0, 0
+	for _, rec := range history {
+		participations += len(rec.Selected) + len(rec.Dropped)
+		rejoins += rec.Rejoins
+	}
+	drops := 0
+	for _, s := range stats {
+		drops += s.Dropped
+	}
+	rate := float64(drops) / float64(participations)
+	t.Logf("quant8 chaos: injected drops %d/%d participations = %.2f, rejoins %d",
+		drops, participations, rate, rejoins)
+	if rate < 0.10 {
+		t.Errorf("injected drop rate = %.2f, want >= 0.10 (tune DropMeanBytes)", rate)
+	}
+	if rejoins == 0 {
+		t.Error("no rejoins recorded despite injected drops")
+	}
+}
+
+// TestChaosQuantizedDownlinkDeterministicHistories pins same-seed
+// bit-identical histories for the residual-quantized downlink under chaos:
+// quantization error feedback accumulates state per connection, and a
+// divergent reset after any rejoin would show up here.
+func TestChaosQuantizedDownlinkDeterministicHistories(t *testing.T) {
+	a, statsA := runChaosTraining(t, 42, 8, 30_000, quant8Downlink)
+	b, statsB := runChaosTraining(t, 42, 8, 30_000, quant8Downlink)
+	for i := range statsA {
+		if statsA[i].Dropped != statsB[i].Dropped || statsA[i].Conns != statsB[i].Conns {
+			t.Errorf("edge %d: injector saw %+v vs %+v", i, statsA[i], statsB[i])
+		}
+	}
+	assertIdenticalHistories(t, a, b)
 }
 
 func equalInts(a, b []int) bool {

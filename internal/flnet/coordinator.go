@@ -622,12 +622,28 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 	// bytes actually exchanged this round — the measured volume the radio
 	// energy model prices.
 	var txBytes, rxBytes atomic.Int64
+	// Datagram transports additionally count packet attempts and
+	// deliveries per direction (see dgramMetered); snapshot deltas around
+	// each exchange accumulate here.
+	var downAttempt, downDelivered, upAttempt, upDelivered atomic.Int64
 	var wg sync.WaitGroup
 	deadline := time.Now().Add(c.cfg.RoundTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	exchange := func(conn net.Conn, id int, frame []byte, cl *clientConn) (TrainReply, error) {
+		if m, metered := conn.(dgramMetered); metered {
+			// Delta the conn's lifetime counters around this exchange —
+			// success or failure, the attempted bytes were spent.
+			a0, d0, p0, r0 := m.DgramCounters()
+			defer func() {
+				a1, d1, p1, r1 := m.DgramCounters()
+				downAttempt.Add(a1 - a0)
+				downDelivered.Add(d1 - d0)
+				upAttempt.Add(p1 - p0)
+				upDelivered.Add(r1 - r0)
+			}()
+		}
 		if err := conn.SetDeadline(deadline); err != nil {
 			return TrainReply{}, fmt.Errorf("client %d deadline: %w", id, err)
 		}
@@ -807,6 +823,11 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		LocalLosses:   make([]float64, len(ok)),
 		DownlinkBytes: txBytes.Load(),
 		UplinkBytes:   rxBytes.Load(),
+
+		DownlinkAttemptBytes:   downAttempt.Load(),
+		DownlinkDeliveredBytes: downDelivered.Load(),
+		UplinkAttemptBytes:     upAttempt.Load(),
+		UplinkDeliveredBytes:   upDelivered.Load(),
 	}
 	for _, slot := range dropped {
 		rec.Dropped = append(rec.Dropped, targets[slot].id)
@@ -858,6 +879,10 @@ func (c *Coordinator) Round(ctx context.Context) (fl.RoundRecord, error) {
 		st.Retries = rec.Retries
 		st.DownlinkBytes = rec.DownlinkBytes
 		st.UplinkBytes = rec.UplinkBytes
+		st.DownlinkAttemptBytes = rec.DownlinkAttemptBytes
+		st.DownlinkDeliveredBytes = rec.DownlinkDeliveredBytes
+		st.UplinkAttemptBytes = rec.UplinkAttemptBytes
+		st.UplinkDeliveredBytes = rec.UplinkDeliveredBytes
 		obs.ObserveRound(st)
 	}
 	return rec, nil

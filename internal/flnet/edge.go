@@ -54,6 +54,10 @@ type EdgeConfig struct {
 	// Dial overrides the transport dialer — fault injection and tests hook
 	// in here. Nil selects net.DialTimeout("tcp", addr, timeout).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// sleep overrides the backoff pause between reconnect attempts so tests
+	// can record the schedule without waiting it out. Nil selects sleepCtx.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 func (cfg EdgeConfig) dialer() func(string, time.Duration) (net.Conn, error) {
@@ -336,6 +340,10 @@ func RunEdgeServer(ctx context.Context, cfg EdgeConfig) error {
 	// The jitter stream is deliberately independent of the training seeds
 	// derived from cfg.Seed elsewhere.
 	jitter := mat.NewRNG(cfg.Seed ^ 0x7c159e3779b97f4a)
+	sleep := cfg.sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
 	id := -1
 	failures := 0
 	for {
@@ -352,7 +360,7 @@ func RunEdgeServer(ctx context.Context, cfg EdgeConfig) error {
 				return fmt.Errorf("connect failed %d times, last: %v: %w",
 					failures, err, ErrRetriesExhausted)
 			}
-			if err := sleepCtx(ctx, cfg.Retry.Backoff(failures, jitter)); err != nil {
+			if err := sleep(ctx, cfg.Retry.Backoff(failures, jitter)); err != nil {
 				return err
 			}
 			continue

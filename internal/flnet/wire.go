@@ -41,3 +41,15 @@ func (w *WireCounters) Rx() int64 {
 	}
 	return w.rx.Load()
 }
+
+// dgramMetered is implemented by datagram transports that account
+// per-attempt packet bytes (fldgram.Conn). The coordinator type-asserts
+// its conns against this rather than importing the transport package: a
+// stream conn simply isn't metered, and any future transport that counts
+// attempts plugs in by exposing the same four lifetime counters — this
+// side's attempted and acknowledged data bytes, the peer's cumulative
+// attempted bytes as carried in packet headers, and the unique data bytes
+// received (all wire sizes, datagram headers included).
+type dgramMetered interface {
+	DgramCounters() (txAttemptBytes, txDeliveredBytes, peerAttemptBytes, rxDeliveredBytes int64)
+}

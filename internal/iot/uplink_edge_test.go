@@ -1,0 +1,106 @@
+package iot
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eefei/internal/mat"
+)
+
+// TestUplinkSuccessProbEdges pins the boundary behaviour of the unlicensed
+// delivery probability: p=1 degenerates to the licensed cost, a tiny p is
+// valid and inflates ρ by exactly 1/p, and p=0 (an uplink that can never
+// deliver) must be rejected rather than priced at +Inf.
+func TestUplinkSuccessProbEdges(t *testing.T) {
+	base := DefaultNBIoTConfig()
+	perAttempt := float64(base.SampleBytes) * base.JoulesPerByte
+	tests := []struct {
+		name     string
+		prob     float64
+		wantErr  bool
+		wantRho  float64
+		wantNote string
+	}{
+		{"p exactly 1", 1, false, perAttempt, "every attempt delivers: no inflation"},
+		{"tiny p", 1e-9, false, perAttempt / 1e-9, "valid but enormous inflation"},
+		{"p exactly 0", 0, true, 0, "never delivers: rejected"},
+		{"negative p", -0.25, true, 0, "rejected"},
+		{"p above 1", 1 + 1e-12, true, 0, "rejected"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			cfg.Band = Unlicensed
+			cfg.SuccessProb = tt.prob
+			err := cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate(p=%v) = %v, wantErr %v (%s)", tt.prob, err, tt.wantErr, tt.wantNote)
+			}
+			if tt.wantErr {
+				if !errors.Is(err, ErrUplink) {
+					t.Errorf("error %v does not wrap ErrUplink", err)
+				}
+				return
+			}
+			got := cfg.Rho()
+			if math.Abs(got-tt.wantRho) > 1e-12*tt.wantRho {
+				t.Errorf("Rho(p=%v) = %v, want %v (%s)", tt.prob, got, tt.wantRho, tt.wantNote)
+			}
+			if math.IsInf(got, 0) || math.IsNaN(got) {
+				t.Errorf("Rho(p=%v) = %v, must stay finite", tt.prob, got)
+			}
+		})
+	}
+}
+
+// TestLicensedIgnoresSuccessProb: the scheduled band has no contention, so
+// SuccessProb must be inert there — any value, including garbage that would
+// fail unlicensed validation, neither fails Validate nor perturbs Rho.
+func TestLicensedIgnoresSuccessProb(t *testing.T) {
+	want := DefaultNBIoTConfig().Rho()
+	for _, p := range []float64{0, -1, 0.3, 1, 17, math.NaN()} {
+		cfg := DefaultNBIoTConfig()
+		cfg.SuccessProb = p
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("licensed Validate(SuccessProb=%v) = %v, want nil", p, err)
+		}
+		if got := cfg.Rho(); got != want {
+			t.Errorf("licensed Rho(SuccessProb=%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// Property (Eq. 4 closure at the model level): for any valid config, the
+// unlicensed expected delivered-sample energy equals the licensed energy
+// divided by p, to floating-point identity — the geometric retry count E=1/p
+// is the only thing the band changes.
+func TestUnlicensedRhoEqualsLicensedOverP(t *testing.T) {
+	rng := mat.NewRNG(99)
+	f := func(bytesRaw uint16, energyRaw, probRaw uint32) bool {
+		cfg := UplinkConfig{
+			SampleBytes:   1 + int(bytesRaw),
+			JoulesPerByte: 1e-9 + 10*float64(energyRaw)/math.MaxUint32,
+			// p uniform in (0, 1]; the rng draw just adds variety beyond
+			// quick's generator without risking p=0.
+			SuccessProb: math.Nextafter(0, 1) + (1-math.Nextafter(0, 1))*((float64(probRaw)+rng.Float64())/(math.MaxUint32+1)),
+		}
+		licensed := cfg
+		licensed.Band = Licensed
+		unlicensed := cfg
+		unlicensed.Band = Unlicensed
+		if err := licensed.Validate(); err != nil {
+			return false
+		}
+		if err := unlicensed.Validate(); err != nil {
+			return false
+		}
+		want := licensed.Rho() / cfg.SuccessProb
+		got := unlicensed.Rho()
+		return math.Abs(got-want) <= 1e-12*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

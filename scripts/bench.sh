@@ -5,9 +5,11 @@
 # Packages covered: the root package (paper figure/table pins, including the
 # flnet fault-injection round), internal/fl (FedAvg round, async step, global
 # loss), internal/ml (evaluator + SGD epochs), internal/mat (GEMM, matvec,
-# RNG), internal/energy (calibrator observe), and internal/flnet (the pooled
+# RNG), internal/energy (calibrator observe), internal/flnet (the pooled
 # networked round over loopback TCP plus the downlink encode paths — the
-# allocs/op and B/op pins behind the zero-copy wire protocol).
+# allocs/op and B/op pins behind the zero-copy wire protocol — and the
+# datagram round BenchmarkDgramRoundWire at loss 0 and 10%), and
+# internal/fldgram (packet codec + ARQ frame path of the lossy transport).
 #
 # The suite runs in two passes with different iteration counts:
 #
@@ -49,7 +51,7 @@ if [ -n "${BENCH_FILTER:-}" ]; then
     echo "bench: single pass, -bench='${BENCH_FILTER}' -benchtime=${TIME} ..." >&2
     go test -run='^$' -bench="$BENCH_FILTER" -benchmem -benchtime="$TIME" \
         . ./internal/fl ./internal/ml ./internal/mat ./internal/energy \
-        ./internal/flnet | tee "$RAW" >&2
+        ./internal/flnet ./internal/fldgram | tee "$RAW" >&2
 else
     echo "bench: harness pass -benchtime=${HARNESS_TIME}, gated pass -benchtime=${TIME} ..." >&2
     {
@@ -57,7 +59,7 @@ else
         go test -run='^$' -bench="$GATED" -benchmem -benchtime="$TIME" .
         go test -run='^$' -bench=. -benchmem -benchtime="$TIME" \
             ./internal/fl ./internal/ml ./internal/mat ./internal/energy \
-            ./internal/flnet
+            ./internal/flnet ./internal/fldgram
     } | tee "$RAW" >&2
 fi
 

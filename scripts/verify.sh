@@ -59,6 +59,26 @@ echo "== wire protocol v2 interop/residual (race detector, explicit) =="
 go test -race -run 'LosslessV2|MixedProtocol|Residual|TrainRequestV2|Handshake|Negotiate|WriteFrameAllocationFree' ./internal/flnet
 go test -race -run 'RadioModel|RadioPricing' ./internal/energy
 
+echo "== datagram transport ARQ/determinism (race detector, explicit) =="
+# The lossy-transport contracts pinned under -race even if the full -race
+# sweep above is ever narrowed: the fldgram stop-and-wait ARQ (fragmentation,
+# CRC-rejected mutations, dup/reorder absorption, deterministic same-seed
+# attempt counters, UDP mux listener), the packet-level faultnet injector,
+# training over fldgram at 10% injected loss matching the TCP history record
+# for record with bit-identical same-seed weights and the measured ρ/p of
+# Eq. 4 within 5% of analytic, the residual-quantized downlink under
+# connection chaos with rejoins, and the reconnect-lifecycle backoff
+# schedule's seed determinism.
+go test -race ./internal/fldgram
+go test -race -run 'PacketInjector' ./internal/faultnet
+go test -race -run 'Dgram|ChaosQuantized|RetryBackoffDeterministic' ./internal/flnet
+
+echo "== reassembly fuzzer (smoke) =="
+# A short live-fuzz burst on top of the checked-in corpus (which every plain
+# `go test` replays): hostile fragment streams must never panic nor deliver
+# corrupted bytes. Longer runs: go test -fuzz FuzzReassembly ./internal/fldgram
+go test -run='^$' -fuzz 'FuzzReassembly' -fuzztime 5s ./internal/fldgram
+
 echo "== calibration round-trip (race detector, explicit) =="
 # The trace→energy loop under -race: the Calibrator observer accumulating a
 # measured ledger live (closed-loop refit onto DefaultPiTimeModel, replay
@@ -125,7 +145,7 @@ trap 'rm -f "$FRESH"' EXIT
     go test -run='^$' -bench="$GATED" -benchmem -benchtime=25x .
     go test -run='^$' -bench=. -benchmem -benchtime=25x \
         ./internal/fl ./internal/ml ./internal/mat ./internal/energy \
-        ./internal/flnet
+        ./internal/flnet ./internal/fldgram
 } | go run ./cmd/benchfmt -date regression-gate >"$FRESH"
 if ! go run ./cmd/benchfmt -diff "$BASELINE" "$FRESH" \
         -tol "${BENCH_TOL:-15}" -min-ns 100000 -skip "$SKIP"; then
